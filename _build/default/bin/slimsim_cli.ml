@@ -1,0 +1,381 @@
+(* slimsim command-line interface (the CLI integration of §II-F):
+
+     slimsim info MODEL
+     slimsim simulate MODEL -p PROP [-s STRATEGY] [-d DELTA] [-e EPS] ...
+     slimsim exact MODEL -p PROP [--no-lump]
+     slimsim trace MODEL -p PROP [-s STRATEGY] [--seed N]
+     slimsim interactive MODEL -p PROP        (the Input strategy)
+*)
+
+open Cmdliner
+
+module S = Slimsim
+module Strategy = Slimsim_sim.Strategy
+module I = Slimsim_intervals.Interval_set
+
+let load file =
+  match S.load_file file with
+  | Ok m -> Ok m
+  | Error e -> Error (Printf.sprintf "%s: %s" file e)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline e;
+    exit 1
+
+(* --- common arguments --- *)
+
+let model_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc:"SLIM model file")
+
+let prop_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "p"; "property" ] ~docv:"PROP"
+        ~doc:"Property: 'P(<> [0, u] goal)' or 'probability that goal within u'.")
+
+let strategy_conv =
+  let parse s = Strategy.of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf s = Fmt.string ppf (Strategy.to_string s) in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Strategy.Asap
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Strategy for non-determinism: asap, progressive, local or maxtime.")
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+(* --- info --- *)
+
+let info_cmd =
+  let run file =
+    let m = or_die (load file) in
+    let net = S.network m in
+    Fmt.pr "%a@." Slimsim_sta.Network.pp_summary net;
+    Array.iteri
+      (fun i p ->
+        Fmt.pr "  process %d: %a@." i Slimsim_sta.Automaton.pp p)
+      net.Slimsim_sta.Network.procs;
+    Array.iteri
+      (fun i (v : Slimsim_sta.Network.var_info) ->
+        Fmt.pr "  var %d: %s (%s) := %a@." i v.var_name
+          (match v.kind with
+          | Slimsim_sta.Network.Discrete -> "discrete"
+          | Slimsim_sta.Network.Clock -> "clock"
+          | Slimsim_sta.Network.Continuous -> "continuous")
+          Slimsim_sta.Value.pp v.init)
+      net.Slimsim_sta.Network.vars
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show the translated network")
+    Term.(const run $ model_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let delta =
+    Arg.(value & opt float 0.05 & info [ "d"; "delta" ] ~doc:"Confidence parameter.")
+  and eps =
+    Arg.(value & opt float 0.01 & info [ "e"; "eps" ] ~doc:"Error bound.")
+  and workers =
+    Arg.(value & opt int 1 & info [ "j"; "workers" ] ~doc:"Parallel workers.")
+  and generator =
+    let generator_conv =
+      let parse s =
+        S.Generator.kind_of_string s |> Result.map_error (fun e -> `Msg e)
+      in
+      let print ppf k = Fmt.string ppf (S.Generator.kind_to_string k) in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt generator_conv S.Generator.Chernoff
+      & info [ "g"; "generator" ]
+          ~doc:"Sample-count rule: chernoff, hoeffding, gauss or chow-robbins.")
+  and deadlock_error =
+    Arg.(
+      value & flag
+      & info [ "deadlock-error" ]
+          ~doc:"Abort on dead/timelocks instead of falsifying the property.")
+  in
+  let run file prop strategy delta eps workers generator deadlock_error seed =
+    let m = or_die (load file) in
+    let on_deadlock = if deadlock_error then `Error else `Falsify in
+    match
+      S.check ~workers ~seed ~generator ~on_deadlock m ~property:prop ~strategy
+        ~delta ~eps ()
+    with
+    | Ok r -> Fmt.pr "%a@." S.pp_estimate r
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte Carlo estimation of a timed reachability property")
+    Term.(
+      const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
+      $ generator $ deadlock_error $ seed_arg)
+
+(* --- exact --- *)
+
+let exact_cmd =
+  let no_lump =
+    Arg.(value & flag & info [ "no-lump" ] ~doc:"Skip the lumping reduction.")
+  and max_states =
+    Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~doc:"State-space cap.")
+  in
+  let run file prop no_lump max_states =
+    let m = or_die (load file) in
+    match S.check_exact ~max_states ~lump:(not no_lump) m ~property:prop with
+    | Ok r -> Fmt.pr "%a@." S.pp_exact r
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Cmd.v (Cmd.info "exact" ~doc:"Exact CTMC analysis (untimed models)")
+    Term.(const run $ model_arg $ prop_arg $ no_lump $ max_states)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the trace as CSV (RFC 4180).")
+  in
+  let run file prop strategy seed csv =
+    let m = or_die (load file) in
+    match S.simulate_one ~seed m ~property:prop ~strategy with
+    | Ok (verdict, steps) ->
+      if csv then print_string (Slimsim_sim.Trace.to_csv steps)
+      else begin
+        Fmt.pr "%a" Slimsim_sim.Trace.pp steps;
+        Fmt.pr "verdict: %s@." (Slimsim_sim.Path.verdict_to_string verdict)
+      end
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Generate and print a single random path")
+    Term.(const run $ model_arg $ prop_arg $ strategy_arg $ seed_arg $ csv)
+
+(* --- safety analysis (fault trees and FMEA, §II-C) --- *)
+
+let goal_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "g"; "goal" ] ~docv:"EXPR"
+        ~doc:"Boolean failure condition over the model (SLIM expression).")
+
+let cutsets_cmd =
+  let max_order =
+    Arg.(value & opt int 3 & info [ "max-order" ] ~doc:"Largest cut-set size.")
+  and horizon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "horizon" ] ~docv:"T"
+          ~doc:"Also evaluate cut-set probabilities at this horizon.")
+  and dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print the fault tree as Graphviz dot.")
+  in
+  let run file goal max_order horizon dot =
+    let m = or_die (load file) in
+    match S.fault_tree ~max_order m ~goal ~top:goal with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok t ->
+      if dot then print_string (Slimsim_safety.Cutsets.to_dot t)
+      else begin
+        Fmt.pr "%a@." Slimsim_safety.Cutsets.pp_fault_tree t;
+        match horizon with
+        | None -> ()
+        | Some h ->
+          List.iteri
+            (fun i cs ->
+              Fmt.pr "P(MCS %d by %g) = %.3e@." (i + 1) h
+                (Slimsim_safety.Cutsets.cut_set_probability cs ~horizon:h))
+            t.Slimsim_safety.Cutsets.cut_sets;
+          Fmt.pr "P(top by %g) ~ %.3e  (Esary-Proschan)@." h
+            (Slimsim_safety.Cutsets.top_probability
+               t.Slimsim_safety.Cutsets.cut_sets ~horizon:h)
+      end
+  in
+  Cmd.v (Cmd.info "cutsets" ~doc:"Fault-tree generation: minimal cut sets")
+    Term.(const run $ model_arg $ goal_arg $ max_order $ horizon $ dot)
+
+let fmea_cmd =
+  let run file goal =
+    let m = or_die (load file) in
+    match S.fmea m ~goal with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok rows -> Fmt.pr "%a@." Slimsim_safety.Fmea.pp_table rows
+  in
+  Cmd.v (Cmd.info "fmea" ~doc:"Failure Mode and Effects Analysis table")
+    Term.(const run $ model_arg $ goal_arg)
+
+let fdir_cmd =
+  let observables =
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "o"; "observables" ] ~docv:"VARS"
+          ~doc:"Comma-separated observable variables (qualified names).")
+  in
+  let settle =
+    Arg.(
+      value & opt float 0.0
+      & info [ "settle" ] ~docv:"T"
+          ~doc:"Fault-free settling time before the nominal baseline is taken.")
+  in
+  let run file observables settle =
+    let m = or_die (load file) in
+    match S.fdir ~settle_time:settle m ~observables with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok verdicts -> Fmt.pr "%a@." Slimsim_safety.Fdir.pp_table verdicts
+  in
+  Cmd.v
+    (Cmd.info "fdir" ~doc:"Fault Detection, Isolation and Recovery analysis")
+    Term.(const run $ model_arg $ observables $ settle)
+
+let verify_cmd =
+  let invariant =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "invariant" ] ~docv:"EXPR"
+          ~doc:"Boolean invariant that must hold in every reachable state.")
+  and max_states =
+    Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State-space cap.")
+  in
+  let run file invariant max_states =
+    let m = or_die (load file) in
+    match S.verify_invariant ~max_states m ~invariant with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok outcome ->
+      Fmt.pr "%a@." Slimsim_ctmc.Qualitative.pp_outcome outcome;
+      (match outcome with
+      | Slimsim_ctmc.Qualitative.Violated _ -> exit 2
+      | Slimsim_ctmc.Qualitative.Holds _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Qualitative invariant checking (untimed abstraction)")
+    Term.(const run $ model_arg $ invariant $ max_states)
+
+let diagnosability_cmd =
+  let observables =
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "o"; "observables" ] ~docv:"VARS"
+          ~doc:"Comma-separated observable variables.")
+  and diagnosis =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "diagnosis" ] ~docv:"EXPR" ~doc:"The diagnosis expression.")
+  and max_faults =
+    Arg.(value & opt int 2 & info [ "max-faults" ] ~doc:"Faults injected per scenario.")
+  in
+  let run file observables diagnosis max_faults =
+    let m = or_die (load file) in
+    match S.diagnosability ~max_faults m ~observables ~diagnosis with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok r -> Fmt.pr "%a@." Slimsim_safety.Diagnosability.pp_report r
+  in
+  Cmd.v (Cmd.info "diagnosability" ~doc:"Check that observations determine the diagnosis")
+    Term.(const run $ model_arg $ observables $ diagnosis $ max_faults)
+
+let dot_cmd =
+  let process =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "process" ] ~docv:"NAME"
+          ~doc:"Render one process instead of the network overview.")
+  in
+  let run file process =
+    let m = or_die (load file) in
+    match process with
+    | None -> print_string (S.dot_network m)
+    | Some name -> (
+      match S.dot_process m name with
+      | Ok dot -> print_string dot
+      | Error e ->
+        prerr_endline e;
+        exit 1)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Graphviz export of the network or a process")
+    Term.(const run $ model_arg $ process)
+
+(* --- interactive (the Input strategy, §III-B) --- *)
+
+let interactive_cmd =
+  let run file prop =
+    let m = or_die (load file) in
+    let net = S.network m in
+    let script (alt : Strategy.alternatives) =
+      Fmt.pr "@.--- step %d, state ---@.%a@." alt.Strategy.step
+        (Slimsim_sta.State.pp net) alt.Strategy.state;
+      Fmt.pr "admissible delays: %a@." I.pp alt.Strategy.inv_window;
+      List.iteri
+        (fun i (tm : Slimsim_sta.Moves.timed) ->
+          Fmt.pr "  [%d] %s  in %a@." i
+            (Slimsim_sta.Moves.describe net tm.Slimsim_sta.Moves.move)
+            I.pp tm.Slimsim_sta.Moves.window)
+        alt.Strategy.timed;
+      List.iteri
+        (fun i (p, _, r) ->
+          Fmt.pr "  [m%d] rate %g transition of %s@." i r
+            (Slimsim_sta.Network.proc_name net p))
+        alt.Strategy.markov;
+      Fmt.pr "choose: <index> <delay> | m<index> <delay> | a <delay> | q@.> %!";
+      match String.split_on_char ' ' (String.trim (read_line ())) with
+      | [ "q" ] -> Strategy.Abort
+      | [ "a"; d ] -> Strategy.Advance (float_of_string d)
+      | [ idx; d ] when String.length idx > 0 && idx.[0] = 'm' ->
+        Strategy.Fire_markov
+          {
+            index = int_of_string (String.sub idx 1 (String.length idx - 1));
+            delay = float_of_string d;
+          }
+      | [ idx; d ] -> Strategy.Fire { index = int_of_string idx; delay = float_of_string d }
+      | _ -> Strategy.Abort
+    in
+    match
+      S.simulate_one ~record:true m ~property:prop
+        ~strategy:(Strategy.Scripted script)
+    with
+    | Ok (verdict, _) ->
+      Fmt.pr "verdict: %s@." (Slimsim_sim.Path.verdict_to_string verdict)
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "interactive" ~doc:"Drive a single path by hand (the Input strategy)")
+    Term.(const run $ model_arg $ prop_arg)
+
+let () =
+  let doc = "statistical model checking of timed reachability for SLIM/AADL models" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "slimsim" ~version:"1.0.0" ~doc)
+          [
+            info_cmd; simulate_cmd; exact_cmd; trace_cmd; interactive_cmd;
+            cutsets_cmd; fmea_cmd; fdir_cmd; diagnosability_cmd; verify_cmd;
+            dot_cmd;
+          ]))

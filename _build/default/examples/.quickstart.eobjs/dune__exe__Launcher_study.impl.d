@@ -1,0 +1,1 @@
+examples/launcher_study.ml: Fmt List Printf Slimsim Slimsim_models Slimsim_sta

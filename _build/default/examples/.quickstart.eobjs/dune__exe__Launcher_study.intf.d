@@ -1,0 +1,1 @@
+examples/launcher_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Slimsim Slimsim_models Slimsim_sim Slimsim_sta

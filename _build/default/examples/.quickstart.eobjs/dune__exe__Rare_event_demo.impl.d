@@ -1,0 +1,1 @@
+examples/rare_event_demo.ml: Array Fmt List Printf Slimsim Slimsim_models Slimsim_sim Slimsim_sta

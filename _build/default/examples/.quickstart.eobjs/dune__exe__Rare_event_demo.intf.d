@@ -1,0 +1,1 @@
+examples/rare_event_demo.mli:

@@ -1,0 +1,1 @@
+examples/safety_analysis.ml: Fmt Slimsim Slimsim_models Slimsim_safety

@@ -1,0 +1,1 @@
+examples/safety_analysis.mli:

@@ -1,0 +1,1 @@
+examples/sensor_filter_demo.ml: Fmt List Printf Slimsim Slimsim_models

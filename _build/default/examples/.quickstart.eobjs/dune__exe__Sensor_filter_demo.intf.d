@@ -1,0 +1,1 @@
+examples/sensor_filter_demo.mli:

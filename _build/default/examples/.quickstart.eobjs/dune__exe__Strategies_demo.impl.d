@@ -1,0 +1,1 @@
+examples/strategies_demo.ml: Fmt List Slimsim Slimsim_intervals Slimsim_models Slimsim_sim Slimsim_sta

@@ -1,0 +1,47 @@
+(* The §V launcher case study: probability of losing thruster control
+   within a growing time bound, under each scheduling strategy, for the
+   permanent and recoverable DPU fault variants (Figure 5).
+
+   With permanent faults the model is strategy-insensitive (left
+   graph); with recoverable faults ASAP restarts units before they have
+   cooled down and performs worst (right graph).
+
+   Run with:  dune exec examples/launcher_study.exe *)
+
+module Launcher = Slimsim_models.Launcher
+
+let horizons = [ 20.0; 60.0; 100.0 ]
+
+let study variant label =
+  let model =
+    match Slimsim.load_string (Launcher.source ~variant) with
+    | Ok m -> m
+    | Error e -> failwith e
+  in
+  Fmt.pr "@.launcher with %s DPU faults (%a)@." label Slimsim_sta.Network.pp_summary
+    (Slimsim.network model);
+  Fmt.pr "%-8s" "u";
+  List.iter
+    (fun s -> Fmt.pr "%-14s" (Slimsim.Strategy.to_string s))
+    Slimsim.Strategy.all_automated;
+  Fmt.pr "@.";
+  List.iter
+    (fun u ->
+      Fmt.pr "%-8g" u;
+      List.iter
+        (fun strategy ->
+          let property =
+            Printf.sprintf "P(<> [0, %g] %s)" u Launcher.goal_failure
+          in
+          match
+            Slimsim.check model ~property ~strategy ~delta:0.1 ~eps:0.05 ()
+          with
+          | Ok r -> Fmt.pr "%-14.4f" r.Slimsim.probability
+          | Error e -> failwith e)
+        Slimsim.Strategy.all_automated;
+      Fmt.pr "@.")
+    horizons
+
+let () =
+  study `Permanent "permanent";
+  study `Recoverable "recoverable"

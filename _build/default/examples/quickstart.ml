@@ -1,0 +1,41 @@
+(* Quickstart: load the paper's GPS example (Listings 1-2), ask for the
+   probability that a fault becomes visible within five minutes, and
+   compare two strategies.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let property = "P(<> [0, 300] gps in mode active and not gps.measurement)"
+
+let () =
+  let model =
+    match Slimsim.load_string Slimsim_models.Gps.source with
+    | Ok m -> m
+    | Error e -> failwith e
+  in
+  Fmt.pr "model: %a@." Slimsim_sta.Network.pp_summary (Slimsim.network model);
+  Fmt.pr "property: %s@." property;
+  List.iter
+    (fun strategy ->
+      match
+        Slimsim.check model ~property ~strategy ~delta:0.05 ~eps:0.01 ()
+      with
+      | Ok r ->
+        Fmt.pr "  %-12s %a@."
+          (Slimsim.Strategy.to_string strategy)
+          Slimsim.pp_estimate r
+      | Error e -> Fmt.pr "  %-12s error: %s@." (Slimsim.Strategy.to_string strategy) e)
+    [ Slimsim.Strategy.Asap; Slimsim.Strategy.Progressive ];
+  (* a single diagnostic trace *)
+  match
+    Slimsim.simulate_one model ~property ~strategy:Slimsim.Strategy.Progressive
+      ~seed:7L
+  with
+  | Ok (verdict, steps) ->
+    Fmt.pr "@.one random path (%d steps): %s@." (List.length steps)
+      (Slimsim_sim.Path.verdict_to_string verdict);
+    List.iteri
+      (fun i (s : Slimsim_sim.Path.step_record) ->
+        if i < 12 then
+          Fmt.pr "  t=%-9.3f +%-8.3f %s@." s.at_time s.chose_delay s.description)
+      steps
+  | Error e -> Fmt.pr "trace error: %s@." e

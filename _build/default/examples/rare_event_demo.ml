@@ -1,0 +1,62 @@
+(* Rare-event estimation (importance sampling, §VI related work) and the
+   M/M/1/K queue substrate.
+
+   Run with:  dune exec examples/rare_event_demo.exe *)
+
+module Rare = Slimsim_sim.Rare
+module Strategy = Slimsim_sim.Strategy
+module Qm = Slimsim_models.Queue_model
+
+let load src =
+  match Slimsim.load_string src with Ok m -> m | Error e -> failwith e
+
+let () =
+  (* an underloaded queue almost never fills up: a genuine rare event *)
+  let capacity = 6 in
+  let model = load (Qm.source ~arrival:0.3 ~service:1.2 ~capacity) in
+  let net = Slimsim.network model in
+  let property = Printf.sprintf "P(<> [0, 20] %s)" (Qm.goal_full ~capacity) in
+  let goal, _, horizon =
+    match Slimsim.parse_property model property with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  (* ground truth from the exact pipeline *)
+  let exact =
+    match Slimsim.check_exact model ~property with
+    | Ok r -> r.Slimsim.exact_probability
+    | Error e -> failwith e
+  in
+  Fmt.pr "M/M/1/%d, arrival 0.3 / service 1.2: P(full by 20) = %.3e (exact)@."
+    capacity exact;
+  (* selective failure biasing: speed up only the arrivals.  In the
+     queue's birth-death process the arrival transitions are the ones
+     whose target has a larger q; identify them structurally. *)
+  let arrivals_only beta p tr =
+    let proc = net.Slimsim_sta.Network.procs.(p) in
+    let t = proc.Slimsim_sta.Automaton.transitions.(tr) in
+    if t.Slimsim_sta.Automaton.dst > t.Slimsim_sta.Automaton.src then beta
+    else 1.0
+  in
+  Fmt.pr "@.plain Monte Carlo vs selective arrival biasing, 20000 paths each:@.";
+  (match
+     Rare.estimate net ~goal ~horizon ~strategy:Strategy.Asap ~bias:1.0
+       ~paths:20_000 ~delta:0.05 ()
+   with
+  | Ok r -> Fmt.pr "  plain       %a@." Rare.pp_result r
+  | Error e -> failwith (Slimsim_sim.Path.error_to_string e));
+  List.iter
+    (fun beta ->
+      match
+        Rare.estimate net ~goal ~horizon ~strategy:Strategy.Asap ~bias:1.0
+          ~bias_of:(arrivals_only beta) ~paths:20_000 ~delta:0.05 ()
+      with
+      | Ok r -> Fmt.pr "  arrivals x%g %a@." beta Rare.pp_result r
+      | Error e -> failwith (Slimsim_sim.Path.error_to_string e))
+    [ 2.0; 4.0 ];
+  Fmt.pr
+    "@.(only the arrival rates are biased: the queue actually fills under@.";
+  Fmt.pr
+    " the biased measure, and the likelihood ratio keeps the estimate@.";
+  Fmt.pr " unbiased; scaling every rate uniformly would leave the embedded@.";
+  Fmt.pr " chain unchanged and only inflate the weight variance)@."

@@ -1,0 +1,135 @@
+module Strategy = Slimsim_sim.Strategy
+module Generator = Slimsim_stats.Generator
+module Loader = Slimsim_slim.Loader
+module Pattern = Slimsim_props.Pattern
+module Engine = Slimsim_sim.Engine
+module Path = Slimsim_sim.Path
+
+type model = Loader.loaded
+
+let load_string = Loader.load_string
+let load_file = Loader.load_file
+let network (m : model) = m.Loader.network
+let ast (m : model) = m.Loader.ast
+
+let ( let* ) = Result.bind
+
+let parse_pattern_full (m : model) src =
+  let* pat = Pattern.parse src in
+  let* goal, hold, horizon = Pattern.resolve m.Loader.network pat in
+  Ok (goal, hold, horizon, pat.Pattern.complement)
+
+let parse_property (m : model) src =
+  let* goal, hold, horizon, _ = parse_pattern_full m src in
+  Ok (goal, hold, horizon)
+
+type estimate = {
+  probability : float;
+  ci_low : float;
+  ci_high : float;
+  paths : int;
+  successes : int;
+  deadlock_paths : int;
+  wall_seconds : float;
+}
+
+let check ?workers ?seed ?(generator = Generator.Chernoff)
+    ?(on_deadlock = `Falsify) (m : model) ~property ~strategy ~delta ~eps () =
+  let* goal, hold, horizon, complement = parse_pattern_full m property in
+  let gen = Generator.create generator ~delta ~eps in
+  let config = { (Path.default_config ~horizon) with Path.on_deadlock } in
+  match
+    Engine.run ?workers ?seed ~config ?hold m.Loader.network ~goal ~horizon
+      ~strategy ~generator:gen ()
+  with
+  | Ok r ->
+    (* invariance patterns report the complement; "successes" keeps
+       counting the paths that reached the negated goal *)
+    let p, lo, hi =
+      if complement then
+        (1.0 -. r.Engine.probability, 1.0 -. r.Engine.ci_high, 1.0 -. r.Engine.ci_low)
+      else (r.Engine.probability, r.Engine.ci_low, r.Engine.ci_high)
+    in
+    Ok
+      {
+        probability = p;
+        ci_low = lo;
+        ci_high = hi;
+        paths = r.Engine.paths;
+        successes = r.Engine.successes;
+        deadlock_paths = r.Engine.deadlock_paths;
+        wall_seconds = r.Engine.wall_seconds;
+      }
+  | Error e -> Error (Path.error_to_string e)
+
+type exact = {
+  exact_probability : float;
+  states : int;
+  lumped_states : int;
+  analysis_seconds : float;
+}
+
+let check_exact ?max_states ?lump (m : model) ~property =
+  let* goal, hold, horizon, complement = parse_pattern_full m property in
+  match
+    Slimsim_ctmc.Analysis.check ?max_states ?hold ?lump m.Loader.network ~goal
+      ~horizon
+  with
+  | Ok r ->
+    Ok
+      {
+        exact_probability =
+          (if complement then 1.0 -. r.Slimsim_ctmc.Analysis.probability
+           else r.Slimsim_ctmc.Analysis.probability);
+        states = r.Slimsim_ctmc.Analysis.stable_states;
+        lumped_states = r.Slimsim_ctmc.Analysis.lumped_states;
+        analysis_seconds = r.Slimsim_ctmc.Analysis.total_seconds;
+      }
+  | Error e -> Error e
+
+let simulate_one ?(seed = 1L) ?(record = true) (m : model) ~property ~strategy =
+  let* goal, hold, horizon = parse_property m property in
+  let config = Path.default_config ~horizon in
+  let rng = Slimsim_stats.Rng.for_path ~seed ~path:0 in
+  let verdict, steps =
+    Path.generate ~record ?hold m.Loader.network config strategy rng ~goal
+  in
+  match verdict with
+  | Ok v -> Ok (v, steps)
+  | Error e -> Error (Path.error_to_string e)
+
+let fault_tree ?max_order (m : model) ~goal ~top =
+  let* goal_expr = Slimsim_slim.Loader.parse_goal m.Loader.network goal in
+  Slimsim_safety.Cutsets.fault_tree ?max_order m.Loader.network ~goal:goal_expr ~top
+
+let fmea (m : model) ~goal =
+  let* goal_expr = Slimsim_slim.Loader.parse_goal m.Loader.network goal in
+  Slimsim_safety.Fmea.analyze m.Loader.network ~goal:goal_expr
+
+let fdir ?settle_time (m : model) ~observables =
+  Slimsim_safety.Fdir.analyze ?settle_time m.Loader.network ~observables
+
+let verify_invariant ?max_states (m : model) ~invariant =
+  let* prop = Slimsim_slim.Loader.parse_goal m.Loader.network invariant in
+  Slimsim_ctmc.Qualitative.check_invariant ?max_states m.Loader.network ~prop
+
+let diagnosability ?max_faults (m : model) ~observables ~diagnosis =
+  let* d = Slimsim_slim.Loader.parse_goal m.Loader.network diagnosis in
+  Slimsim_safety.Diagnosability.check ?max_faults m.Loader.network ~observables
+    ~diagnosis:d
+
+let dot_process (m : model) name =
+  match Slimsim_sta.Network.find_proc m.Loader.network name with
+  | Some p -> Ok (Slimsim_sta.Dot.automaton m.Loader.network p)
+  | None -> Error (Printf.sprintf "unknown process %s" name)
+
+let dot_network (m : model) = Slimsim_sta.Dot.network m.Loader.network
+
+let pp_estimate ppf e =
+  Fmt.pf ppf "p = %.6f in [%.6f, %.6f] (%d/%d paths, %d dead/timelocked, %.2fs)"
+    e.probability e.ci_low e.ci_high e.successes e.paths e.deadlock_paths
+    e.wall_seconds
+
+let pp_exact ppf e =
+  Fmt.pf ppf "p = %.9f (%d states, %d after lumping, %.2fs)" e.exact_probability
+    e.states e.lumped_states e.analysis_seconds

@@ -1,0 +1,142 @@
+(** slimsim — statistical model checking of timed reachability for SLIM
+    (AADL-dialect) models, after "A Statistical Approach for Timed
+    Reachability in AADL Models" (DSN 2015).
+
+    This facade wires the pipeline together:
+
+    {v
+    SLIM text --Loader--> network of stochastic timed automata
+    property  --Pattern--> goal expression + time bound
+    (model, property, strategy, generator) --Engine--> estimate
+    (model, property)                      --Ctmc-->   exact probability
+    v}
+
+    Quickstart:
+    {[
+      let model = Slimsim.load_string my_slim_source |> Result.get_ok in
+      match
+        Slimsim.check model ~property:"P(<> [0, 300] sys.failed)"
+          ~strategy:Slimsim.Strategy.Asap ~delta:0.05 ~eps:0.01 ()
+      with
+      | Ok r -> Format.printf "%a@." Slimsim.pp_estimate r
+      | Error e -> prerr_endline e
+    ]} *)
+
+module Strategy = Slimsim_sim.Strategy
+module Generator = Slimsim_stats.Generator
+
+type model
+
+val load_string : string -> (model, string) result
+val load_file : string -> (model, string) result
+
+val network : model -> Slimsim_sta.Network.t
+val ast : model -> Slimsim_slim.Ast.model
+
+val parse_property :
+  model ->
+  string ->
+  (Slimsim_sta.Expr.t * Slimsim_sta.Expr.t option * float, string) result
+(** Returns (goal, hold, horizon).  Accepts [P(<> [0,u] goal)],
+    the bounded until [P(hold U [0,u] goal)], or
+    [probability that goal within u]. *)
+
+type estimate = {
+  probability : float;
+  ci_low : float;
+  ci_high : float;
+  paths : int;
+  successes : int;
+  deadlock_paths : int;
+  wall_seconds : float;
+}
+
+val check :
+  ?workers:int ->
+  ?seed:int64 ->
+  ?generator:Generator.kind ->
+  ?on_deadlock:[ `Error | `Falsify ] ->
+  model ->
+  property:string ->
+  strategy:Strategy.t ->
+  delta:float ->
+  eps:float ->
+  unit ->
+  (estimate, string) result
+(** Monte Carlo estimation (the paper's tool).  [generator] defaults to
+    the Chernoff–Hoeffding bound. *)
+
+type exact = {
+  exact_probability : float;
+  states : int;
+  lumped_states : int;
+  analysis_seconds : float;
+}
+
+val check_exact :
+  ?max_states:int ->
+  ?lump:bool ->
+  model ->
+  property:string ->
+  (exact, string) result
+(** The baseline CTMC pipeline (§IV); untimed models only. *)
+
+val simulate_one :
+  ?seed:int64 ->
+  ?record:bool ->
+  model ->
+  property:string ->
+  strategy:Strategy.t ->
+  ( Slimsim_sim.Path.verdict * Slimsim_sim.Path.step_record list,
+    string )
+  result
+(** Generate a single path (e.g. to inspect a trace or to drive the
+    scripted Input strategy). *)
+
+val fault_tree :
+  ?max_order:int ->
+  model ->
+  goal:string ->
+  top:string ->
+  (Slimsim_safety.Cutsets.fault_tree, string) result
+(** Safety analysis (§II-C): the minimal cut sets of the goal expression
+    (a Boolean over the model, not a timed property), as a fault tree. *)
+
+val fmea :
+  model -> goal:string -> (Slimsim_safety.Fmea.row list, string) result
+(** FMEA table: one row per failure mode (basic event). *)
+
+val fdir :
+  ?settle_time:float ->
+  model ->
+  observables:string list ->
+  (Slimsim_safety.Fdir.verdict list, string) result
+(** FDIR analysis (§II-C): per failure mode, whether it can be detected,
+    isolated and recovered from, given the observable variables. *)
+
+val verify_invariant :
+  ?max_states:int ->
+  model ->
+  invariant:string ->
+  (Slimsim_ctmc.Qualitative.outcome, string) result
+(** Qualitative correctness analysis (§II-C): exhaustive invariant
+    checking on the untimed abstraction, with a counterexample trace on
+    violation. *)
+
+val diagnosability :
+  ?max_faults:int ->
+  model ->
+  observables:string list ->
+  diagnosis:string ->
+  (Slimsim_safety.Diagnosability.report, string) result
+(** Diagnosability (§II-C): report observation classes in which the
+    diagnosis expression is ambiguous. *)
+
+val dot_process : model -> string -> (string, string) result
+(** Graphviz rendering of one process (cf. the paper's Figure 2). *)
+
+val dot_network : model -> string
+(** Graphviz overview of the whole network. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit
+val pp_exact : Format.formatter -> exact -> unit

@@ -1,0 +1,1 @@
+lib/ctmc/analysis.ml: Ctmc Explorer Fmt Gc Lumping Printf Transient Unix

@@ -1,0 +1,1 @@
+lib/ctmc/analysis.mli: Format Slimsim_sta

@@ -1,0 +1,1 @@
+lib/ctmc/explorer.ml: Array Ctmc Hashtbl Int List Moves Network Option Printf Queue Slimsim_sta State Unix Value

@@ -1,0 +1,1 @@
+lib/ctmc/explorer.mli: Ctmc Slimsim_sta

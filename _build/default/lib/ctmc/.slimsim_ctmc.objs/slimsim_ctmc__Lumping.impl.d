@@ -1,0 +1,1 @@
+lib/ctmc/lumping.ml: Array Ctmc Hashtbl List Option Unix

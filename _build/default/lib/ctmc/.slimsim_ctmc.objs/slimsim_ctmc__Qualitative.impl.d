@@ -1,0 +1,1 @@
+lib/ctmc/qualitative.ml: Fmt Hashtbl Linear List Moves Network Printf Queue Slimsim_sta State Value

@@ -1,0 +1,1 @@
+lib/ctmc/qualitative.mli: Format Slimsim_sta

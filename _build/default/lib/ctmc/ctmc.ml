@@ -1,0 +1,71 @@
+type t = {
+  n_states : int;
+  initial : (int * float) array;
+  rows : (int * float) array array;
+  goal : bool array;
+  bad : bool array;
+}
+
+let make ~n_states ~initial ~transitions ~goal =
+  if Array.length goal <> n_states then invalid_arg "Ctmc.make: goal length";
+  let bad = Array.make n_states false in
+  let mass = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 initial in
+  if Float.abs (mass -. 1.0) > 1e-9 then
+    invalid_arg "Ctmc.make: initial distribution must sum to 1";
+  List.iter
+    (fun (s, p) ->
+      if s < 0 || s >= n_states then invalid_arg "Ctmc.make: initial state";
+      if p < 0.0 then invalid_arg "Ctmc.make: negative initial probability")
+    initial;
+  let tbl = Array.make n_states [] in
+  List.iter
+    (fun (s, t, r) ->
+      if s < 0 || s >= n_states || t < 0 || t >= n_states then
+        invalid_arg "Ctmc.make: state out of range";
+      if r <= 0.0 then invalid_arg "Ctmc.make: rate must be positive";
+      tbl.(s) <- (t, r) :: tbl.(s))
+    transitions;
+  let rows =
+    Array.map
+      (fun entries ->
+        let merged = Hashtbl.create 4 in
+        List.iter
+          (fun (t, r) ->
+            Hashtbl.replace merged t
+              (r +. Option.value ~default:0.0 (Hashtbl.find_opt merged t)))
+          entries;
+        Hashtbl.fold (fun t r acc -> (t, r) :: acc) merged []
+        |> List.sort compare |> Array.of_list)
+      tbl
+  in
+  { n_states; initial = Array.of_list initial; rows; goal; bad }
+
+let exit_rate t s = Array.fold_left (fun acc (_, r) -> acc +. r) 0.0 t.rows.(s)
+
+let max_exit_rate t =
+  let m = ref 0.0 in
+  for s = 0 to t.n_states - 1 do
+    m := Float.max !m (exit_rate t s)
+  done;
+  !m
+
+let n_transitions t = Array.fold_left (fun acc row -> acc + Array.length row) 0 t.rows
+
+let uniformized_dtmc t ~q =
+  if q <= 0.0 then invalid_arg "Ctmc.uniformized_dtmc: q must be positive";
+  Array.mapi
+    (fun s row ->
+      let out = exit_rate t s in
+      let self = 1.0 -. (out /. q) in
+      let scaled = Array.map (fun (tgt, r) -> (tgt, r /. q)) row in
+      if self > 0.0 then Array.append [| (s, self) |] scaled else scaled)
+    t.rows
+
+let pp_summary ppf t =
+  Fmt.pf ppf "ctmc: %d states, %d transitions, %d goal states" t.n_states
+    (n_transitions t)
+    (Array.fold_left (fun acc g -> if g then acc + 1 else acc) 0 t.goal)
+
+let with_bad t bad =
+  if Array.length bad <> t.n_states then invalid_arg "Ctmc.with_bad: length";
+  { t with bad }

@@ -1,0 +1,128 @@
+type result = {
+  quotient : Ctmc.t;
+  block_of : int array;
+  n_blocks : int;
+  refine_seconds : float;
+}
+
+(* Iterated signature refinement: two states stay in the same block iff
+   they carry the same label and the same total rate into every current
+   block.  This converges to the coarsest ordinary lumping that refines
+   the goal labelling. *)
+let lump (c : Ctmc.t) =
+  let t0 = Unix.gettimeofday () in
+  let n = c.Ctmc.n_states in
+  let label s =
+    (if c.Ctmc.goal.(s) then 1 else 0) lor if c.Ctmc.bad.(s) then 2 else 0
+  in
+  let block = Array.init n label in
+  let n_blocks =
+    ref (List.length (List.sort_uniq compare (Array.to_list block)))
+  in
+  (* With every state in block 0 the goal partition above can waste an
+     index; normalize via the signature pass anyway. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* signature of a state: (current block, sorted (target block, rate)) *)
+    let sig_index = Hashtbl.create 64 in
+    let next = Array.make n 0 in
+    let count = ref 0 in
+    for s = 0 to n - 1 do
+      let agg = Hashtbl.create 4 in
+      Array.iter
+        (fun (t, r) ->
+          let b = block.(t) in
+          Hashtbl.replace agg b
+            (r +. Option.value ~default:0.0 (Hashtbl.find_opt agg b)))
+        c.Ctmc.rows.(s);
+      let signature =
+        ( block.(s),
+          Hashtbl.fold (fun b r acc -> (b, r) :: acc) agg [] |> List.sort compare )
+      in
+      let b' =
+        match Hashtbl.find_opt sig_index signature with
+        | Some b -> b
+        | None ->
+          let b = !count in
+          incr count;
+          Hashtbl.add sig_index signature b;
+          b
+      in
+      next.(s) <- b'
+    done;
+    if !count <> !n_blocks || next <> block then begin
+      (* A stable partition re-derives itself (up to renaming); detect
+         stability by checking whether the refinement is a bijection of
+         the old blocks. *)
+      let renames = Hashtbl.create 16 in
+      let bijective = ref (!count = !n_blocks) in
+      if !bijective then
+        for s = 0 to n - 1 do
+          match Hashtbl.find_opt renames block.(s) with
+          | None -> Hashtbl.add renames block.(s) next.(s)
+          | Some b' -> if b' <> next.(s) then bijective := false
+        done;
+      if not !bijective then begin
+        Array.blit next 0 block 0 n;
+        n_blocks := !count;
+        changed := true
+      end
+    end
+  done;
+  (* canonicalize block ids to 0..k-1 in order of first occurrence *)
+  let canon = Hashtbl.create 16 in
+  let k = ref 0 in
+  for s = 0 to n - 1 do
+    if not (Hashtbl.mem canon block.(s)) then begin
+      Hashtbl.add canon block.(s) !k;
+      incr k
+    end;
+    block.(s) <- Hashtbl.find canon block.(s)
+  done;
+  let nb = !k in
+  (* quotient rates from one representative per block (lumpability makes
+     any representative equivalent) *)
+  let reps = Array.make nb (-1) in
+  for s = n - 1 downto 0 do
+    reps.(block.(s)) <- s
+  done;
+  let transitions = ref [] in
+  Array.iteri
+    (fun b rep ->
+      let agg = Hashtbl.create 4 in
+      Array.iter
+        (fun (t, r) ->
+          let bt = block.(t) in
+          Hashtbl.replace agg bt
+            (r +. Option.value ~default:0.0 (Hashtbl.find_opt agg bt)))
+        c.Ctmc.rows.(rep);
+      Hashtbl.iter
+        (fun bt r -> if r > 0.0 then transitions := (b, bt, r) :: !transitions)
+        agg)
+    reps;
+  let goal = Array.make nb false in
+  for s = 0 to n - 1 do
+    if c.Ctmc.goal.(s) then goal.(block.(s)) <- true
+  done;
+  let init = Hashtbl.create 4 in
+  Array.iter
+    (fun (s, p) ->
+      let b = block.(s) in
+      Hashtbl.replace init b
+        (p +. Option.value ~default:0.0 (Hashtbl.find_opt init b)))
+    c.Ctmc.initial;
+  let initial = Hashtbl.fold (fun b p acc -> (b, p) :: acc) init [] in
+  let bad = Array.make nb false in
+  for s = 0 to n - 1 do
+    if c.Ctmc.bad.(s) then bad.(block.(s)) <- true
+  done;
+  let quotient =
+    Ctmc.with_bad (Ctmc.make ~n_states:nb ~initial ~transitions:!transitions ~goal) bad
+  in
+  {
+    quotient;
+    block_of = block;
+    n_blocks = nb;
+    refine_seconds = Unix.gettimeofday () -. t0;
+  }

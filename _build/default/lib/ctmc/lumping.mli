@@ -1,0 +1,13 @@
+(** Strong lumping (ordinary lumpability) of a labelled CTMC by
+    partition refinement — the state-space reduction role of the Sigref
+    step in the paper's baseline pipeline.  The quotient preserves
+    time-bounded reachability of the goal label exactly. *)
+
+type result = {
+  quotient : Ctmc.t;
+  block_of : int array;  (** original state -> block *)
+  n_blocks : int;
+  refine_seconds : float;
+}
+
+val lump : Ctmc.t -> result

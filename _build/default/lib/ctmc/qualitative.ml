@@ -1,0 +1,65 @@
+open Slimsim_sta
+
+type outcome =
+  | Holds of { states : int }
+  | Violated of { trace : string list; states : int }
+
+let immediate net s =
+  Moves.discrete net s
+  |> List.filter_map (fun { Moves.move; window } ->
+         if Moves.I.mem 0.0 window then Some move else None)
+
+let check_invariant ?(max_states = 1_000_000) (net : Network.t) ~prop =
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let push trace s =
+    let k = State.hash_key s in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      Queue.push (trace, s) queue
+    end
+  in
+  push [] (State.initial net);
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       if Hashtbl.length seen > max_states then
+         failwith (Printf.sprintf "state space exceeds %d states" max_states);
+       let trace, s = Queue.pop queue in
+       if not (State.eval_bool s prop) then begin
+         result := Some (Violated { trace = List.rev trace; states = Hashtbl.length seen });
+         raise Exit
+       end;
+       (* both immediate moves and (rate-abstracted) Markovian jumps *)
+       List.iter
+         (fun mv -> push (Moves.describe net mv :: trace) (Moves.apply net s mv))
+         (immediate net s);
+       List.iter
+         (fun (p, tr, _) ->
+           let mv = Moves.Local { proc = p; tr } in
+           push (Moves.describe net mv :: trace) (Moves.apply net s mv))
+         (Moves.markovian net s)
+     done
+   with
+  | Exit -> ()
+  | Failure msg ->
+    result := None;
+    raise (Failure msg));
+  match !result with
+  | Some v -> Ok v
+  | None -> Ok (Holds { states = Hashtbl.length seen })
+
+let check_invariant ?max_states net ~prop =
+  match check_invariant ?max_states net ~prop with
+  | v -> v
+  | exception Failure msg -> Error msg
+  | exception Value.Type_error msg -> Error ("type error: " ^ msg)
+  | exception Linear.Nonlinear msg -> Error ("non-linear guard: " ^ msg)
+
+let pp_outcome ppf = function
+  | Holds { states } -> Fmt.pf ppf "invariant holds (%d states explored)" states
+  | Violated { trace; states } ->
+    Fmt.pf ppf "@[<v>invariant VIOLATED (%d states explored); counterexample:@,"
+      states;
+    List.iter (fun step -> Fmt.pf ppf "  %s@," step) trace;
+    Fmt.pf ppf "@]"

@@ -1,0 +1,23 @@
+(** Qualitative correctness analysis (§II-C): exhaustive invariant
+    checking on the untimed abstraction, standing in for COMPASS's
+    BDD/SAT model-checking path (NuSMV).
+
+    The reachable state space is explored exhaustively over immediate
+    (guarded) and Markovian transitions, abstracting from rates and
+    delays; an invariant violation comes with a counterexample trace. *)
+
+type outcome =
+  | Holds of { states : int }
+  | Violated of { trace : string list; states : int }
+      (** transition descriptions from the initial state to a violating
+          state *)
+
+val check_invariant :
+  ?max_states:int ->
+  Slimsim_sta.Network.t ->
+  prop:Slimsim_sta.Expr.t ->
+  (outcome, string) result
+(** Does [prop] hold in every reachable (stable or vanishing) state of
+    the untimed abstraction?  [max_states] defaults to 1_000_000. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,81 @@
+(* log k! by summation; cached incrementally by the caller's loop. *)
+let log_poisson_weight ~lambda k =
+  if lambda <= 0.0 then if k = 0 then 0.0 else neg_infinity
+  else begin
+    let log_fact = ref 0.0 in
+    for i = 2 to k do
+      log_fact := !log_fact +. log (float_of_int i)
+    done;
+    (-.lambda) +. (float_of_int k *. log lambda) -. !log_fact
+  end
+
+let reach_probability ?(precision = 1e-10) (c : Ctmc.t) ~horizon =
+  let initial_goal_mass =
+    Array.fold_left
+      (fun acc (s, p) -> if c.Ctmc.goal.(s) then acc +. p else acc)
+      0.0 c.Ctmc.initial
+  in
+  if horizon <= 0.0 then initial_goal_mass
+  else begin
+    (* goal states become absorbing (success); bad states become
+       absorbing too (the hold condition failed first) *)
+    let rows =
+      Array.mapi
+        (fun s row -> if c.Ctmc.goal.(s) || c.Ctmc.bad.(s) then [||] else row)
+        c.Ctmc.rows
+    in
+    let absorbed = { c with Ctmc.rows } in
+    let q = Ctmc.max_exit_rate absorbed in
+    if q <= 0.0 then initial_goal_mass
+    else begin
+      let p_matrix = Ctmc.uniformized_dtmc absorbed ~q in
+      let n = c.Ctmc.n_states in
+      let pi = Array.make n 0.0 in
+      Array.iter (fun (s, p) -> pi.(s) <- pi.(s) +. p) c.Ctmc.initial;
+      let lambda = q *. horizon in
+      (* Incremental Poisson weights in log space to survive large
+         lambda; start from w_0 and recur w_{k+1} = w_k * lambda/(k+1)
+         on the log scale. *)
+      let log_w = ref (-.lambda) in
+      let cumulative = ref 0.0 in
+      let result = ref 0.0 in
+      let k = ref 0 in
+      let goal_mass pi =
+        let acc = ref 0.0 in
+        for s = 0 to n - 1 do
+          if c.Ctmc.goal.(s) then acc := !acc +. pi.(s)
+        done;
+        !acc
+      in
+      let scratch = Array.make n 0.0 in
+      let continue = ref true in
+      while !continue do
+        let w = exp !log_w in
+        result := !result +. (w *. goal_mass pi);
+        cumulative := !cumulative +. w;
+        (* stop once the residual mass cannot change the answer *)
+        if 1.0 -. !cumulative < precision && float_of_int !k >= lambda then
+          continue := false
+        else begin
+          (* pi <- pi * P *)
+          Array.fill scratch 0 n 0.0;
+          for s = 0 to n - 1 do
+            let mass = pi.(s) in
+            if mass > 0.0 then
+              Array.iter
+                (fun (t, p) -> scratch.(t) <- scratch.(t) +. (mass *. p))
+                p_matrix.(s)
+          done;
+          Array.blit scratch 0 pi 0 n;
+          incr k;
+          log_w := !log_w +. log lambda -. log (float_of_int !k);
+          (* hard safety cap: lambda + 20 sqrt(lambda) + 200 terms *)
+          if float_of_int !k > lambda +. (20.0 *. sqrt lambda) +. 200.0 then
+            continue := false
+        end
+      done;
+      (* The residual mass is in non-goal states at worst; [result] is a
+         lower bound within [precision]. *)
+      !result
+    end
+  end

@@ -1,0 +1,14 @@
+(** Time-bounded reachability on a CTMC by uniformization with Poisson
+    truncation — the MRMC role in the paper's baseline pipeline.
+
+    [P(<> [0,u] goal)] is computed by making goal states absorbing and
+    accumulating the Poisson-weighted probability mass in goal states of
+    the uniformized DTMC.  The truncation error is bounded by the
+    residual Poisson mass, kept below [precision]. *)
+
+val reach_probability : ?precision:float -> Ctmc.t -> horizon:float -> float
+(** [precision] defaults to 1e-10.  A zero or negative horizon returns
+    the initial goal mass. *)
+
+val log_poisson_weight : lambda:float -> int -> float
+(** [log w_k] for the Poisson(lambda) pmf; exposed for testing. *)

@@ -1,0 +1,1 @@
+lib/intervals/interval_set.mli: Format

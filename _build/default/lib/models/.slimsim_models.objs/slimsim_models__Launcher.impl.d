@@ -1,0 +1,1 @@
+lib/models/launcher.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/models/queue_model.ml: Buffer Printf

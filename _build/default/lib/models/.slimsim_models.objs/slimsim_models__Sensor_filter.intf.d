@@ -1,0 +1,1 @@
+lib/models/sensor_filter.mli:

@@ -1,0 +1,98 @@
+(* The paper's running example (Listings 1, 2 and Figure 2), completed
+   with a supervising root component that restarts the GPS when its
+   signal is lost — which gives the @activation recovery of the hot
+   fault something to ride on.  Time unit: seconds; fault rates are
+   scaled up (as in the paper's case study) so the behaviour shows up
+   within short horizons. *)
+
+let nominal_only =
+  {|
+device GPS
+features
+  measurement: out data port bool := false;
+end GPS;
+
+device implementation GPS.Imp
+subcomponents
+  x: data clock;
+modes
+  acquisition: initial mode while x <= 120.0;
+  active: mode;
+transitions
+  -- a fix is acquired after 10..120 s (non-deterministic)
+  acquisition -[when x >= 10.0 then measurement := true]-> active;
+end GPS.Imp;
+
+root GPS.Imp;
+|}
+
+let source =
+  {|
+-- Listing 1: the GPS device
+device GPS
+features
+  measurement: out data port bool := false;
+end GPS;
+
+device implementation GPS.Imp
+subcomponents
+  x: data clock;
+modes
+  acquisition: initial mode while x <= 120.0;
+  active: mode;
+transitions
+  acquisition -[when x >= 10.0 then measurement := true]-> active;
+end GPS.Imp;
+
+-- Listing 2: the GPS error model (Figure 2)
+error model GPSFail
+states
+  ok: initial state;
+  transient: state;
+  hot: state;
+  dead: state;
+events
+  e_trans: occurrence poisson 0.010;
+  e_hot: occurrence poisson 0.004;
+  e_perm: occurrence poisson 0.001;
+transitions
+  ok -[e_trans]-> transient;
+  ok -[e_hot]-> hot;
+  ok -[e_perm]-> dead;
+  -- a transient fault heals itself within [200, 300] msec
+  transient -[repair within 0.2 .. 0.3]-> ok;
+  -- a hot fault heals when the unit is restarted
+  hot -[@activation]-> ok;
+end GPSFail;
+
+-- Supervisor: restarts the GPS when the signal disappears
+system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  gps: device GPS.Imp;
+  w: data clock;
+  seen: data bool := false;
+modes
+  watch: initial mode;
+  waiting: mode while w <= 1.0;
+transitions
+  watch -[when gps.measurement and not seen then seen := true]-> watch;
+  watch -[when seen and not gps.measurement then w := 0.0]-> waiting;
+  waiting -[when w >= 0.2 then reset gps; seen := false]-> watch;
+end Main.Imp;
+
+extend gps with GPSFail
+injections
+  inject transient: measurement := false;
+  inject hot: measurement := false;
+  inject dead: measurement := false;
+end extend;
+
+root Main.Imp;
+|}
+
+let goal_no_fix = "gps in mode active and not gps.measurement"
+
+let goal_acquired = "measurement"

@@ -1,0 +1,20 @@
+(** The GPS example of the paper (Listings 1 and 2, Figure 2): a device
+    with acquisition/active modes, a timed acquisition window, and an
+    error model with transient, hot and permanent faults.  The transient
+    fault recovers after a non-deterministic delay in [[0.2, 0.3]] s (the
+    paper's [200, 300] msec window); the hot fault recovers when the
+    unit is restarted by a monitor. *)
+
+val source : string
+(** Complete SLIM model: GPS + error model + monitor that restarts the
+    unit when the fix is lost. *)
+
+val nominal_only : string
+(** Just Listing 1: the GPS device without faults. *)
+
+val goal_no_fix : string
+(** Property goal: the observed measurement signal is false while the
+    GPS claims to be active (a fault is visible). *)
+
+val goal_acquired : string
+(** Property goal for the nominal model: a fix has been acquired. *)

@@ -1,0 +1,360 @@
+(* The launcher case study of §V.  Rates are scaled (as in the paper) so
+   the behaviour is visible at horizons of a few hundred seconds. *)
+
+let dpu_fault_rate = 0.02
+let battery_fault_rate = 1.0e-4
+let sensor_fault_rate = 1.0e-3
+let cool_min = 1.0
+let cool_max = 2.0
+let restart_min = 0.3
+let restart_max = 2.5
+let poll_min = 4.0
+let poll_max = 6.0
+let verify_min = 0.3
+let verify_max = 0.6
+let max_retries = 3
+
+let goal_failure = "mission in mode flight and not thrusters.ctl"
+
+let source ~variant =
+  let b = Buffer.create 16384 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "-- Launcher case study (section V), %s DPU faults\n"
+    (match variant with `Permanent -> "permanent" | `Recoverable -> "recoverable");
+  (* ---- power ---- *)
+  pf
+    {|
+device Pcdu
+features
+  power: out data port bool := true;
+end Pcdu;
+
+device implementation Pcdu.Imp
+subcomponents
+  energy: data continuous := 100000.0;
+modes
+  on: initial mode while energy >= 0.0 der energy = -1.0;
+  off: mode;
+transitions
+  on -[when energy <= 0.0 then power := false]-> off;
+end Pcdu.Imp;
+
+error model PcduFail
+states
+  ok: initial state;
+  dead: state;
+events
+  fault: occurrence poisson %.9g;
+transitions
+  ok -[fault]-> dead;
+end PcduFail;
+|}
+    battery_fault_rate;
+  (* ---- sensors ---- *)
+  pf
+    {|
+device Gps
+features
+  sig: out data port bool := false;
+end Gps;
+
+device implementation Gps.Imp
+subcomponents
+  x: data clock;
+modes
+  acquisition: initial mode while x <= 120.0;
+  active: mode;
+transitions
+  acquisition -[when x >= 10.0 then sig := true]-> active;
+end Gps.Imp;
+
+device Gyro
+features
+  sig: out data port bool := true;
+end Gyro;
+
+device implementation Gyro.Imp
+modes
+  run: initial mode;
+end Gyro.Imp;
+|};
+  (match variant with
+  | `Permanent ->
+    pf
+      {|
+error model SensorFail
+states
+  ok: initial state;
+  dead: state;
+events
+  e_perm: occurrence poisson %.9g;
+transitions
+  ok -[e_perm]-> dead;
+end SensorFail;
+|}
+      sensor_fault_rate
+  | `Recoverable ->
+    pf
+      {|
+error model SensorFail
+states
+  ok: initial state;
+  transient: state;
+  dead: state;
+events
+  e_trans: occurrence poisson %.9g;
+  e_perm: occurrence poisson %.9g;
+transitions
+  ok -[e_trans]-> transient;
+  transient -[heal within 0.2 .. 0.3]-> ok;
+  ok -[e_perm]-> dead;
+end SensorFail;
+|}
+      (2.0 *. sensor_fault_rate)
+      sensor_fault_rate);
+  (* ---- nav or-bus ---- *)
+  pf
+    {|
+system NavBus
+features
+  s1: in data port bool := false;
+  s2: in data port bool := false;
+  s3: in data port bool := true;
+  s4: in data port bool := true;
+  nav: out data port bool := true;
+end NavBus;
+
+system implementation NavBus.Imp
+flows
+  nav := s1 or s2 or s3 or s4;
+end NavBus.Imp;
+|};
+  (* ---- DPU ---- *)
+  pf
+    {|
+processor Dpu
+features
+  power: in data port bool := true;
+  nav: in data port bool := true;
+  cmd: out data port bool := true;
+  ok: out data port bool := true;
+end Dpu;
+
+processor implementation Dpu.Imp
+flows
+  cmd := power and nav;
+  ok := power and nav;
+modes
+  run: initial mode;
+end Dpu.Imp;
+|};
+  (match variant with
+  | `Permanent ->
+    pf
+      {|
+error model DpuFail
+states
+  ok: initial state;
+  dead: state;
+events
+  fault: occurrence poisson %.9g;
+transitions
+  ok -[fault]-> dead;
+end DpuFail;
+|}
+      dpu_fault_rate
+  | `Recoverable ->
+    pf
+      {|
+error model DpuFail
+states
+  ok: initial state;
+  hot_early: state;
+  hot_ready: state;
+events
+  fault: occurrence poisson %.9g;
+transitions
+  ok -[fault]-> hot_early;
+  -- the unit must cool down before a restart can take
+  hot_early -[cool within %.9g .. %.9g]-> hot_ready;
+  -- restarting too early is ineffective (and restarts the cooldown)
+  hot_early -[@activation]-> hot_early;
+  hot_ready -[@activation]-> ok;
+end DpuFail;
+|}
+      dpu_fault_rate cool_min cool_max);
+  (* ---- channel: one DPU plus its supervisor ---- *)
+  pf
+    {|
+system Channel
+features
+  power: in data port bool := true;
+  nav: in data port bool := true;
+  cmd: out data port bool := true;
+end Channel;
+
+system implementation Channel.Imp
+subcomponents
+  dpu: processor Dpu.Imp;
+|};
+  (match variant with
+  | `Permanent ->
+    pf
+      {|connections
+  power -> dpu.power;
+  nav -> dpu.nav;
+  dpu.cmd -> cmd;
+end Channel.Imp;
+|}
+  | `Recoverable ->
+    (* FDIR supervisor: slow health polling while the unit looks fine
+       (bounded window, so detection has a deadline under every
+       strategy), then a restart after a non-deterministic wait, a fast
+       verification poll, and a bounded number of retries before giving
+       the unit up.  ASAP burns its retries restarting before the unit
+       has cooled down and always gives up; MaxTime always waits long
+       enough. *)
+    pf
+      {|  w: data clock;
+  p: data clock;
+  tries: data int [0, %d] := 0;
+connections
+  power -> dpu.power;
+  nav -> dpu.nav;
+  dpu.cmd -> cmd;
+modes
+  watch: initial mode while p <= %.9g;
+  waiting: mode while w <= %.9g;
+  verify: mode while p <= %.9g;
+  gaveup: mode;
+transitions
+  watch -[when p >= %.9g and dpu.ok then p := 0.0]-> watch;
+  watch -[when p >= %.9g and not dpu.ok then w := 0.0]-> waiting;
+  waiting -[when w >= %.9g then reset dpu; p := 0.0]-> verify;
+  verify -[when p >= %.9g and dpu.ok then p := 0.0; tries := 0]-> watch;
+  verify -[when p >= %.9g and not dpu.ok and tries < %d then w := 0.0; tries := tries + 1]-> waiting;
+  verify -[when p >= %.9g and not dpu.ok and tries >= %d]-> gaveup;
+end Channel.Imp;
+|}
+      max_retries poll_max restart_max verify_max poll_min poll_min restart_min
+      verify_min verify_min (max_retries - 1) verify_min (max_retries - 1));
+  (* ---- triplex with 2-out-of-3 voting ---- *)
+  pf
+    {|
+system Triplex
+features
+  power: in data port bool := true;
+  nav: in data port bool := true;
+  cmd: out data port bool := true;
+end Triplex;
+
+system implementation Triplex.Imp
+subcomponents
+  ch1: system Channel.Imp;
+  ch2: system Channel.Imp;
+  ch3: system Channel.Imp;
+connections
+  power -> ch1.power;
+  power -> ch2.power;
+  power -> ch3.power;
+  nav -> ch1.nav;
+  nav -> ch2.nav;
+  nav -> ch3.nav;
+flows
+  cmd := (ch1.cmd and ch2.cmd) or (ch1.cmd and ch3.cmd) or (ch2.cmd and ch3.cmd);
+end Triplex.Imp;
+|};
+  (* ---- thrusters and mission ---- *)
+  pf
+    {|
+device Thrusters
+features
+  cmd1: in data port bool := true;
+  cmd2: in data port bool := true;
+  ctl: out data port bool := true;
+end Thrusters;
+
+device implementation Thrusters.Imp
+flows
+  ctl := cmd1 or cmd2;
+end Thrusters.Imp;
+
+process Mission
+end Mission;
+
+process implementation Mission.Imp
+modes
+  flight: initial mode;
+end Mission.Imp;
+
+system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  pcdu1: device Pcdu.Imp;
+  pcdu2: device Pcdu.Imp;
+  gps1: device Gps.Imp;
+  gps2: device Gps.Imp;
+  gyro1: device Gyro.Imp;
+  gyro2: device Gyro.Imp;
+  navbus: system NavBus.Imp;
+  tri1: system Triplex.Imp;
+  tri2: system Triplex.Imp;
+  thrusters: device Thrusters.Imp;
+  mission: process Mission.Imp;
+connections
+  pcdu1.power -> tri1.power;
+  pcdu2.power -> tri2.power;
+  gps1.sig -> navbus.s1;
+  gps2.sig -> navbus.s2;
+  gyro1.sig -> navbus.s3;
+  gyro2.sig -> navbus.s4;
+  navbus.nav -> tri1.nav;
+  navbus.nav -> tri2.nav;
+  tri1.cmd -> thrusters.cmd1;
+  tri2.cmd -> thrusters.cmd2;
+end Main.Imp;
+|};
+  (* ---- fault injections (model extension) ---- *)
+  List.iter
+    (fun p ->
+      pf
+        {|
+extend %s with PcduFail
+injections
+  inject dead: power := false;
+end extend;
+|}
+        p)
+    [ "pcdu1"; "pcdu2" ];
+  List.iter
+    (fun s ->
+      let states =
+        match variant with
+        | `Permanent -> [ "dead" ]
+        | `Recoverable -> [ "transient"; "dead" ]
+      in
+      pf "\nextend %s with SensorFail\ninjections\n" s;
+      List.iter (fun st -> pf "  inject %s: sig := false;\n" st) states;
+      pf "end extend;\n")
+    [ "gps1"; "gps2"; "gyro1"; "gyro2" ];
+  List.iter
+    (fun tri ->
+      List.iter
+        (fun ch ->
+          let states =
+            match variant with
+            | `Permanent -> [ "dead" ]
+            | `Recoverable -> [ "hot_early"; "hot_ready" ]
+          in
+          pf "\nextend %s.%s.dpu with DpuFail\ninjections\n" tri ch;
+          List.iter
+            (fun st ->
+              pf "  inject %s: cmd := false;\n  inject %s: ok := false;\n" st st)
+            states;
+          pf "end extend;\n")
+        [ "ch1"; "ch2"; "ch3" ])
+    [ "tri1"; "tri2" ];
+  pf "\nroot Main.Imp;\n";
+  Buffer.contents b

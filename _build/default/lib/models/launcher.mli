@@ -1,0 +1,37 @@
+(** The industrial launcher case study (§V, Figures 4 and 5): PCDUs with
+    linearly draining batteries and permanent battery faults, GPS and
+    gyro sensor groups, two command triplexes of three DPU channels each
+    (2-out-of-3 voting), thrusters driven by either triplex, and a
+    mission phase.
+
+    Two variants, matching the two graphs of Figure 5:
+    - [`Permanent]: DPU faults are permanent; the model then contains
+      only probabilistic and deterministic transitions, so all
+      strategies coincide (left graph).
+    - [`Recoverable]: DPU faults are hot; a supervisor in each channel
+      restarts the DPU after a non-deterministic delay in
+      [[restart_min, restart_max]], but a restart is only effective
+      once the unit has cooled down for a non-deterministic time in
+      [[cool_min, cool_max]].  ASAP always restarts too early (the
+      cooldown clock restarts with the unit), MaxTime never does, and
+      Progressive preempts early restarts more often than Local —
+      reproducing the strategy ordering of the right graph. *)
+
+val source : variant:[ `Permanent | `Recoverable ] -> string
+
+val goal_failure : string
+(** Loss of thruster control while in flight:
+    [mission in mode flight and not thrusters.ctl]. *)
+
+val dpu_fault_rate : float
+val battery_fault_rate : float
+val sensor_fault_rate : float
+val cool_min : float
+val cool_max : float
+val restart_min : float
+val restart_max : float
+val poll_min : float
+val poll_max : float
+val verify_min : float
+val verify_max : float
+val max_retries : int

@@ -1,0 +1,35 @@
+let source ~arrival ~service ~capacity =
+  if arrival <= 0.0 || service <= 0.0 then
+    invalid_arg "Queue_model.source: rates must be positive";
+  if capacity < 1 || capacity > 20 then
+    invalid_arg "Queue_model.source: capacity must be in 1..20";
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "-- M/M/1/%d queue: arrivals %.9g, services %.9g\n" capacity arrival service;
+  pf
+    {|
+system Queue
+features
+  q: out data port int [0, %d] := 0;
+  served: out data port int [0, 9] := 0;
+end Queue;
+
+system implementation Queue.Imp
+modes
+|}
+    capacity;
+  for i = 0 to capacity do
+    pf "  q%d:%s mode;\n" i (if i = 0 then " initial" else "")
+  done;
+  pf "transitions\n";
+  for i = 0 to capacity - 1 do
+    pf "  q%d -[rate %.9g then q := %d]-> q%d;\n" i arrival (i + 1) (i + 1)
+  done;
+  for i = 1 to capacity do
+    pf "  q%d -[rate %.9g then q := %d; served := min(served + 1, 9)]-> q%d;\n" i
+      service (i - 1) (i - 1)
+  done;
+  pf "end Queue.Imp;\n\nroot Queue.Imp;\n";
+  Buffer.contents b
+
+let goal_full ~capacity = Printf.sprintf "q = %d" capacity

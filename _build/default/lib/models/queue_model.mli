@@ -1,0 +1,13 @@
+(** An M/M/1/K queue as a SLIM model: exponential arrivals and services
+    racing in a single birth–death process.  Not from the paper's
+    evaluation — it serves as an independent cross-validation substrate
+    where the simulator and the CTMC pipeline can be compared on plain
+    and bounded-until properties with textbook dynamics. *)
+
+val source : arrival:float -> service:float -> capacity:int -> string
+(** Requires positive rates and [1 <= capacity <= 20].  The model
+    exposes [q] (current queue length) and [served] (completed jobs,
+    saturating at 9) as data ports. *)
+
+val goal_full : capacity:int -> string
+(** Goal expression: the queue is full. *)

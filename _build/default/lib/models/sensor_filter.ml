@@ -1,0 +1,348 @@
+(* The redundancy benchmark of §IV.  Untimed: failures are exponential
+   error events, monitors switch immediately (guarded transitions), so
+   the model is analyzable by the CTMC pipeline and the simulator
+   alike.  All units run hot, which gives a closed-form ground truth. *)
+
+let sensor_rate = 1.0e-3
+let filter_rate = 5.0e-4
+
+let unit_names prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix (i + 1))
+
+let source ~n =
+  if n < 1 || n > 26 then invalid_arg "Sensor_filter.source: n must be in 1..26";
+  let b = Buffer.create 8192 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "-- Sensor/filter redundancy benchmark (section IV, Table I), n = %d\n" n;
+  pf
+    {|
+device Sensor
+features
+  value: out data port int [0, 9] := 3;
+end Sensor;
+
+device implementation Sensor.Imp
+modes
+  run: initial mode;
+end Sensor.Imp;
+
+error model SensorFail
+states
+  ok: initial state;
+  failed: state;
+events
+  fault: occurrence poisson %.9g;
+transitions
+  ok -[fault]-> failed;
+end SensorFail;
+
+device Filter
+features
+  feed: in data port int [0, 9] := 3;
+  value: out data port int [0, 45] := 12;
+end Filter;
+
+device implementation Filter.Imp
+flows
+  value := feed * 4;
+modes
+  run: initial mode;
+end Filter.Imp;
+
+error model FilterFail
+states
+  ok: initial state;
+  failed: state;
+events
+  fault: occurrence poisson %.9g;
+transitions
+  ok -[fault]-> failed;
+end FilterFail;
+|}
+    sensor_rate filter_rate;
+  (* --- sensor bank --- *)
+  let sensors = unit_names "s" n in
+  pf
+    {|
+system SensorBank
+features
+  value: out data port int [0, 9] := 3;
+  exhausted: out data port bool := false;
+end SensorBank;
+
+system implementation SensorBank.Imp
+subcomponents
+|};
+  List.iter (fun s -> pf "  %s: device Sensor.Imp;\n" s) sensors;
+  pf "modes\n";
+  List.iteri
+    (fun i _ -> pf "  use%d:%s mode;\n" (i + 1) (if i = 0 then " initial" else ""))
+    sensors;
+  pf "  dead: mode;\ntransitions\n";
+  List.iteri
+    (fun i s ->
+      if i < n - 1 then
+        pf "  use%d -[when %s.value > 5 then value := s%d.value]-> use%d;\n" (i + 1)
+          s (i + 2) (i + 2)
+      else
+        pf "  use%d -[when %s.value > 5 then exhausted := true; value := 0]-> dead;\n"
+          (i + 1) s)
+    sensors;
+  pf "end SensorBank.Imp;\n";
+  (* --- filter bank --- *)
+  let filters = unit_names "f" n in
+  pf
+    {|
+system FilterBank
+features
+  feed: in data port int [0, 9] := 3;
+  value: out data port int [0, 45] := 12;
+  exhausted: out data port bool := false;
+end FilterBank;
+
+system implementation FilterBank.Imp
+subcomponents
+|};
+  List.iter (fun f -> pf "  %s: device Filter.Imp;\n" f) filters;
+  pf "connections\n";
+  List.iter (fun f -> pf "  feed -> %s.feed;\n" f) filters;
+  pf "modes\n";
+  List.iteri
+    (fun i _ -> pf "  use%d:%s mode;\n" (i + 1) (if i = 0 then " initial" else ""))
+    filters;
+  pf "  dead: mode;\ntransitions\n";
+  List.iteri
+    (fun i f ->
+      (* a failed filter emits zero, but zero input is not the filter's
+         fault: the monitor distinguishes the two (per the paper) *)
+      if i < n - 1 then
+        pf "  use%d -[when %s.value = 0 and feed > 0 then value := f%d.value]-> use%d;\n"
+          (i + 1) f (i + 2) (i + 2)
+      else
+        pf
+          "  use%d -[when %s.value = 0 and feed > 0 then exhausted := true; value := 0]-> dead;\n"
+          (i + 1) f)
+    filters;
+  pf "end FilterBank.Imp;\n";
+  (* --- root --- *)
+  pf
+    {|
+system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  sensors: system SensorBank.Imp;
+  filters: system FilterBank.Imp;
+connections
+  sensors.value -> filters.feed;
+end Main.Imp;
+|};
+  List.iter
+    (fun s ->
+      pf
+        {|
+extend sensors.%s with SensorFail
+injections
+  inject failed: value := 9;
+end extend;
+|}
+        s)
+    sensors;
+  List.iter
+    (fun f ->
+      pf
+        {|
+extend filters.%s with FilterFail
+injections
+  inject failed: value := 0;
+end extend;
+|}
+        f)
+    filters;
+  pf "\nroot Main.Imp;\n";
+  Buffer.contents b
+
+let detect_min = 5.0
+let detect_max = 60.0
+
+(* Timed variant: each bank owns a detection clock; a fault must be
+   observed for a non-deterministic time in [detect_min, detect_max]
+   before the switch happens.  Only the simulator can analyze this
+   variant (the exact chain is untimed-only, as §IV notes). *)
+let timed_source ~n =
+  if n < 1 || n > 26 then
+    invalid_arg "Sensor_filter.timed_source: n must be in 1..26";
+  let detect_block bank_letter cond_of n =
+    let b = Buffer.create 1024 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    pf "subcomponents
+";
+    for i = 1 to n do
+      pf "  %s%d: device %s.Imp;
+" bank_letter i
+        (if bank_letter = "s" then "Sensor" else "Filter")
+    done;
+    pf "  dc: data clock;\n";
+    if bank_letter = "f" then begin
+      pf "connections\n";
+      for i = 1 to n do
+        pf "  feed -> f%d.feed;\n" i
+      done
+    end;
+    pf "modes\n";
+    for i = 1 to n do
+      pf "  use%d:%s mode;
+" i (if i = 1 then " initial" else "");
+      pf "  detect%d: mode while dc <= %.9g;
+" i detect_max
+    done;
+    pf "  dead: mode;
+transitions
+";
+    for i = 1 to n do
+      pf "  use%d -[when %s then dc := 0.0]-> detect%d;
+" i (cond_of i) i;
+      if i < n then
+        pf "  detect%d -[when dc >= %.9g then value := %s%d.value]-> use%d;
+" i
+          detect_min bank_letter (i + 1) (i + 1)
+      else
+        pf
+          "  detect%d -[when dc >= %.9g then exhausted := true; value := 0]-> dead;
+"
+          i detect_min
+    done;
+    Buffer.contents b
+  in
+  let b = Buffer.create 8192 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "-- Timed sensor/filter benchmark (detection latency [%g, %g]), n = %d
+"
+    detect_min detect_max n;
+  pf
+    {|
+device Sensor
+features
+  value: out data port int [0, 9] := 3;
+end Sensor;
+
+device implementation Sensor.Imp
+modes
+  run: initial mode;
+end Sensor.Imp;
+
+error model SensorFail
+states
+  ok: initial state;
+  failed: state;
+events
+  fault: occurrence poisson %.9g;
+transitions
+  ok -[fault]-> failed;
+end SensorFail;
+
+device Filter
+features
+  feed: in data port int [0, 9] := 3;
+  value: out data port int [0, 45] := 12;
+end Filter;
+
+device implementation Filter.Imp
+flows
+  value := feed * 4;
+modes
+  run: initial mode;
+end Filter.Imp;
+
+error model FilterFail
+states
+  ok: initial state;
+  failed: state;
+events
+  fault: occurrence poisson %.9g;
+transitions
+  ok -[fault]-> failed;
+end FilterFail;
+
+system SensorBank
+features
+  value: out data port int [0, 9] := 3;
+  exhausted: out data port bool := false;
+end SensorBank;
+
+system implementation SensorBank.Imp
+%send SensorBank.Imp;
+
+system FilterBank
+features
+  feed: in data port int [0, 9] := 3;
+  value: out data port int [0, 45] := 12;
+  exhausted: out data port bool := false;
+end FilterBank;
+
+system implementation FilterBank.Imp
+%send FilterBank.Imp;
+
+system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  sensors: system SensorBank.Imp;
+  filters: system FilterBank.Imp;
+connections
+  sensors.value -> filters.feed;
+end Main.Imp;
+|}
+    sensor_rate filter_rate
+    (detect_block "s" (fun i -> Printf.sprintf "s%d.value > 5" i) n)
+    (detect_block "f" (fun i -> Printf.sprintf "f%d.value = 0 and feed > 0" i) n);
+  List.iter
+    (fun i ->
+      pf
+        "
+extend sensors.s%d with SensorFail
+injections
+  inject failed: value := 9;
+end extend;
+"
+        i)
+    (List.init n (fun i -> i + 1));
+  List.iter
+    (fun i ->
+      pf
+        "
+extend filters.f%d with FilterFail
+injections
+  inject failed: value := 0;
+end extend;
+"
+        i)
+    (List.init n (fun i -> i + 1));
+  pf "
+root Main.Imp;
+";
+  Buffer.contents b
+
+let goal_exhausted = "sensors.exhausted or filters.exhausted"
+
+let goal_all_failed ~n =
+  let conj sep xs = String.concat sep xs in
+  let sensor_part =
+    unit_names "s" n
+    |> List.map (fun s -> Printf.sprintf "sensors.%s.value > 5" s)
+    |> conj " and "
+  in
+  let filter_part =
+    unit_names "f" n
+    |> List.map (fun f ->
+           Printf.sprintf "filters.%s.value != filters.%s.feed * 4" f f)
+    |> conj " and "
+  in
+  Printf.sprintf "(%s) or (%s)" sensor_part filter_part
+
+let closed_form ~n ~horizon =
+  let p rate = 1.0 -. exp (-.rate *. horizon) in
+  let psn = p sensor_rate ** float_of_int n in
+  let pfn = p filter_rate ** float_of_int n in
+  psn +. pfn -. (psn *. pfn)

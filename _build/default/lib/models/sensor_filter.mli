@@ -1,0 +1,42 @@
+(** The redundancy benchmark of §IV (Figure 3, Table I): a sensor bank
+    and a filter bank, each with [n]-fold hot redundancy, a monitor that
+    switches to the next redundant unit when the value goes out of range
+    (sensor fault: value too high; filter fault: value zero), and a
+    system failure when either bank is exhausted.
+
+    The model is untimed (no clocks), so it can be analyzed both by the
+    CTMC baseline pipeline and by the simulator.  Since every unit runs
+    hot, the failure probability has the closed form
+    [ps^n + pf^n - ps^n·pf^n] with [p = 1 - exp(-rate·horizon)] — used
+    by the test suite as ground truth. *)
+
+val source : n:int -> string
+(** The SLIM model with [n]-fold redundancy per bank; requires
+    [1 <= n <= 26]. *)
+
+val timed_source : n:int -> string
+(** The timed variant of the same family: the monitors take a
+    non-deterministic detection latency in
+    [[detect_min, detect_max]] before switching to the next redundant
+    unit.  §IV notes the exact tool-chain "is limited to discrete
+    models", so the paper benchmarked the untimed variant; this one can
+    only be analyzed by the simulator, and its mode-based failure
+    condition is strategy-sensitive. *)
+
+val detect_min : float
+val detect_max : float
+
+val sensor_rate : float
+val filter_rate : float
+
+val goal_exhausted : string
+(** Mode-based failure condition: some bank has switched past its last
+    redundant unit (depends on monitor scheduling; use with ASAP). *)
+
+val goal_all_failed : n:int -> string
+(** Value-based failure condition: every sensor reads too high or every
+    filter reads zero.  Purely fault-driven, hence strategy-independent
+    and equal to the closed form. *)
+
+val closed_form : n:int -> horizon:float -> float
+(** Ground-truth [P(<> [0,horizon] all-failed)] for hot redundancy. *)

@@ -1,0 +1,1 @@
+lib/props/pattern.ml: Printf Slimsim_slim Slimsim_sta String

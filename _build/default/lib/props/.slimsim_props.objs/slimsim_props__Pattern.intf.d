@@ -1,0 +1,1 @@
+lib/props/pattern.mli: Slimsim_sta

@@ -1,0 +1,134 @@
+type t = { goal_src : string; hold_src : string option; horizon : float; complement : bool }
+
+let strip s = String.trim s
+
+(* Split "hold U [interval] goal" at a top-level " U [" occurrence
+   (paren depth 0).  Returns (hold option, rest-from-interval). *)
+let split_until body =
+  let n = String.length body in
+  let rec scan i depth =
+    if i + 3 >= n then None
+    else
+      match body.[i] with
+      | '(' -> scan (i + 1) (depth + 1)
+      | ')' -> scan (i + 1) (depth - 1)
+      | ' '
+        when depth = 0 && body.[i + 1] = 'U' && body.[i + 2] = ' '
+             && (let rec skip j = if j < n && body.[j] = ' ' then skip (j + 1) else j in
+                 let j = skip (i + 3) in
+                 j < n && body.[j] = '[') ->
+        Some (String.sub body 0 i, String.sub body (i + 3) (n - i - 3))
+      | _ -> scan (i + 1) depth
+  in
+  scan 0 0
+
+(* "P(<> [lo, hi] expr)" or "P(hold U [lo, hi] expr)" — [lo] must be 0
+   (the simulator checks from the start of the path). *)
+let parse_csl s =
+  let s = strip s in
+  let fail msg = Error msg in
+  if not (String.length s > 2 && (s.[0] = 'P' || s.[0] = 'p') && s.[1] = '(') then
+    fail "expected P(...)"
+  else if s.[String.length s - 1] <> ')' then fail "expected closing ')'"
+  else begin
+    let body = strip (String.sub s 2 (String.length s - 3)) in
+    (* the eventually operator, or a top-level bounded until *)
+    let hold_src, complement, body =
+      if String.length body > 2 && String.sub body 0 2 = "<>" then
+        (None, false, strip (String.sub body 2 (String.length body - 2)))
+      else if String.length body > 2 && String.sub body 0 2 = "[]" then
+        (None, true, strip (String.sub body 2 (String.length body - 2)))
+      else
+        match split_until body with
+        | Some (hold, rest) when strip hold <> "" ->
+          (Some (strip hold), false, strip rest)
+        | Some _ | None -> (None, false, body)
+    in
+    let recognized =
+      hold_src <> None || complement
+      || String.length s > 4
+         && String.sub (strip (String.sub s 2 (String.length s - 3))) 0 2 = "<>"
+    in
+    if not recognized then
+      fail "expected '<>', '[]' or a bounded until 'hold U [0,u] goal'"
+    else
+      if String.length body = 0 || body.[0] <> '[' then
+        fail "expected a time interval '[0, u]'"
+      else
+        match String.index_opt body ']' with
+        | None -> fail "unterminated time interval"
+        | Some close -> (
+          let interval = String.sub body 1 (close - 1) in
+          let goal_src = strip (String.sub body (close + 1) (String.length body - close - 1)) in
+          match String.split_on_char ',' interval with
+          | [ lo; hi ] -> (
+            match float_of_string_opt (strip lo), float_of_string_opt (strip hi) with
+            | Some lo, Some hi ->
+              if lo <> 0.0 then fail "the interval must start at 0"
+              else if hi <= 0.0 then fail "the time bound must be positive"
+              else if goal_src = "" then fail "missing goal expression"
+              else Ok { goal_src; hold_src; horizon = hi; complement }
+            | _ -> fail "malformed time interval")
+          | _ -> fail "expected '[lo, hi]'")
+  end
+
+(* "probability that <expr> within <u>" (existence) or
+   "probability that <expr> throughout <u>" (invariance) *)
+let parse_pattern_with marker complement s =
+  let s = strip s in
+  let prefix = "probability that " in
+  let plen = String.length prefix in
+  if String.length s <= plen || String.lowercase_ascii (String.sub s 0 plen) <> prefix
+  then Error (Printf.sprintf "expected 'probability that ...%s u'" marker)
+  else begin
+    let rest = String.sub s plen (String.length s - plen) in
+    let rec find_last from acc =
+      if from + String.length marker > String.length rest then acc
+      else if String.sub rest from (String.length marker) = marker then
+        find_last (from + 1) (Some from)
+      else find_last (from + 1) acc
+    in
+    match find_last 0 None with
+    | None -> Error "missing 'within <bound>'"
+    | Some i -> (
+      let goal_src = strip (String.sub rest 0 i) in
+      let bound = strip (String.sub rest (i + String.length marker) (String.length rest - i - String.length marker)) in
+      match float_of_string_opt bound with
+      | Some horizon when horizon > 0.0 && goal_src <> "" ->
+        Ok { goal_src; hold_src = None; horizon; complement }
+      | Some _ -> Error "the time bound must be positive"
+      | None -> Error ("malformed time bound: " ^ bound))
+  end
+
+let parse s =
+  match parse_csl s with
+  | Ok p -> Ok p
+  | Error csl_err -> (
+    match
+      (match parse_pattern_with " within " false s with
+      | Ok p -> Ok p
+      | Error _ -> parse_pattern_with " throughout " true s)
+    with
+    | Ok p -> Ok p
+    | Error pat_err ->
+      Error
+        (Printf.sprintf "cannot parse property (as CSL: %s; as pattern: %s)"
+           csl_err pat_err))
+
+let resolve network t =
+  match Slimsim_slim.Loader.parse_goal network t.goal_src with
+  | Error e -> Error e
+  | Ok goal0 -> (
+    let goal = if t.complement then Slimsim_sta.Expr.not_ goal0 else goal0 in
+    match t.hold_src with
+    | None -> Ok (goal, None, t.horizon)
+    | Some h -> (
+      match Slimsim_slim.Loader.parse_goal network h with
+      | Ok hold -> Ok (goal, Some hold, t.horizon)
+      | Error e -> Error e))
+
+let to_string t =
+  match t.hold_src, t.complement with
+  | None, false -> Printf.sprintf "P(<> [0, %g] %s)" t.horizon t.goal_src
+  | None, true -> Printf.sprintf "P([] [0, %g] %s)" t.horizon t.goal_src
+  | Some h, _ -> Printf.sprintf "P(%s U [0, %g] %s)" h t.horizon t.goal_src

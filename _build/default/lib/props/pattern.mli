@@ -1,0 +1,41 @@
+(** COMPASS-style specification patterns (§II-C, §V-d).
+
+    The toolset exposes user-friendly patterns instead of raw logic.
+    The simulator supports the *probabilistic existence* pattern — the
+    time-bounded reachability formula [P(<> [0,u] goal)] of CSL — and,
+    as the CSL extension named as future work in §VII, the bounded
+    until [P(hold U [0,u] goal)].  Accepted surface forms:
+
+    - CSL reachability: [P(<> [0, 3600] goal-expression)]
+    - CSL until: [P(hold-expression U [0, 3600] goal-expression)]
+    - CSL invariance: [P([] [0, 3600] safe-expression)] — the
+      *probabilistic invariance* pattern, computed by complementation:
+      [1 - P(<> [0,u] not safe)]
+    - pattern style: [probability that goal-expression within 3600] and
+      [probability that safe-expression throughout 3600]
+
+    Expressions use SLIM syntax plus [path in mode m] atoms. *)
+
+type t = {
+  goal_src : string;  (** unresolved goal expression *)
+  hold_src : string option;
+      (** unresolved hold expression of a bounded until; [None] for
+          plain reachability *)
+  horizon : float;  (** the upper time bound [u] *)
+  complement : bool;
+      (** invariance patterns: the engines check [<> [0,u] not goal]
+          and the reported probability must be [1 - p] *)
+}
+
+val parse : string -> (t, string) result
+
+val resolve :
+  Slimsim_sta.Network.t ->
+  t ->
+  (Slimsim_sta.Expr.t * Slimsim_sta.Expr.t option * float, string) result
+(** Resolve against a translated network: (goal, hold, horizon).  For
+    an invariance pattern the returned goal is already negated — the
+    caller still must complement the resulting probability (see
+    {!t.complement}). *)
+
+val to_string : t -> string

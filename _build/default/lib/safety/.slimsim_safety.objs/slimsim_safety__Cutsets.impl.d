@@ -1,0 +1,1 @@
+lib/safety/cutsets.ml: Array Automaton Buffer Fmt Hashtbl List Moves Network Option Printf Set Slimsim_sta State String

@@ -1,0 +1,1 @@
+lib/safety/cutsets.mli: Format Slimsim_sta

@@ -1,0 +1,1 @@
+lib/safety/diagnosability.ml: Array Automaton Fmt Hashtbl List Moves Network Printf Slimsim_sta State String Value

@@ -1,0 +1,1 @@
+lib/safety/diagnosability.mli: Format Slimsim_sta

@@ -1,0 +1,1 @@
+lib/safety/fdir.ml: Array Automaton Cutsets Float Fmt List Moves Network Printf Slimsim_sta State String Value

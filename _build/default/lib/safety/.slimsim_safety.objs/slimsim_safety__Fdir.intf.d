@@ -1,0 +1,1 @@
+lib/safety/fdir.mli: Cutsets Format Slimsim_sta

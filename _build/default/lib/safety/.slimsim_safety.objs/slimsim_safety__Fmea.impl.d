@@ -1,0 +1,1 @@
+lib/safety/fmea.ml: Array Cutsets Fmt Fun List Moves Network Printf Slimsim_sta State String Value

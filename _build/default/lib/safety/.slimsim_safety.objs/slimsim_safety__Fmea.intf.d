@@ -1,0 +1,1 @@
+lib/safety/fmea.mli: Format Slimsim_sta

@@ -1,0 +1,36 @@
+(** Diagnosability analysis (§II-C): "a property expressing the
+    diagnosis must either always or never hold in any two states with
+    the same set of observations".
+
+    The analysis enumerates the reachable stable states of the untimed
+    abstraction (faults injected in every combination up to a bound,
+    reactions closed over), groups them by the valuation of the
+    observable variables, and reports every observation class that
+    contains both diagnosis-positive and diagnosis-negative states —
+    i.e. observations from which the diagnosis cannot be decided. *)
+
+type ambiguity = {
+  observation : (string * string) list;  (** the shared observable valuation *)
+  positive_witness : string;  (** a state description where the diagnosis holds *)
+  negative_witness : string;  (** one where it does not *)
+}
+
+type report = {
+  diagnosable : bool;
+  states_explored : int;
+  classes : int;  (** distinct observation classes *)
+  ambiguities : ambiguity list;
+}
+
+val check :
+  ?max_faults:int ->
+  ?max_expansions:int ->
+  Slimsim_sta.Network.t ->
+  observables:string list ->
+  diagnosis:Slimsim_sta.Expr.t ->
+  (report, string) result
+(** [max_faults] (default 2) bounds how many basic events are injected
+    per explored scenario.  The observed [#inj] views are substituted
+    for the observables automatically, as in {!Fdir.analyze}. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,26 @@
+(** FMEA (Failure Mode and Effects Analysis) table generation — the
+    second safety-analysis artifact of COMPASS (§II-C).
+
+    For every basic event (failure mode) of the model, the analysis
+    injects just that event from the initial configuration, closes over
+    the immediately enabled reactions, and reports the observable
+    effects: which variables changed, and whether the system-level
+    failure condition holds. *)
+
+type row = {
+  component : string;  (** process carrying the failure mode *)
+  failure_mode : string;  (** transition description *)
+  rate : float;
+  local_effects : (string * string * string) list;
+      (** (variable, before, after); only changed variables *)
+  leads_to_failure : bool;
+      (** the goal holds in some immediate consequence state *)
+}
+
+val analyze :
+  ?max_expansions:int ->
+  Slimsim_sta.Network.t ->
+  goal:Slimsim_sta.Expr.t ->
+  (row list, string) result
+
+val pp_table : Format.formatter -> row list -> unit

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Atomic Condition Domain Fmt Mutex Path Queue Slimsim_sta Slimsim_stats Strategy Unix

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Expr Format Network Path Result Slimsim_sta Slimsim_stats Strategy

@@ -1,0 +1,1 @@
+lib/sim/path.ml: Array Expr Float Linear List Moves Option Printf Result Slimsim_intervals Slimsim_sta Slimsim_stats State Strategy Value

@@ -1,0 +1,1 @@
+lib/sim/path.mli: Expr Network Slimsim_intervals Slimsim_sta Slimsim_stats Strategy

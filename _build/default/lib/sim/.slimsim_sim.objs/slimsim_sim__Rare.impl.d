@@ -1,0 +1,1 @@
+lib/sim/rare.ml: Float Fmt Path Slimsim_stats Unix

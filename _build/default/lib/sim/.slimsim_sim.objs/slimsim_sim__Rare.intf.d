@@ -1,0 +1,1 @@
+lib/sim/rare.mli: Expr Format Network Path Result Slimsim_sta Strategy

@@ -1,0 +1,1 @@
+lib/sim/strategy.ml: Printf Slimsim_intervals Slimsim_sta

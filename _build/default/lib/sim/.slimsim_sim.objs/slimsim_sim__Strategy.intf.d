@@ -1,0 +1,1 @@
+lib/sim/strategy.mli: Slimsim_intervals Slimsim_sta

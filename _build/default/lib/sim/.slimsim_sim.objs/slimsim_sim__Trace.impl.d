@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Fmt List Path Printf String

@@ -1,0 +1,153 @@
+module Rng = Slimsim_stats.Rng
+module Generator = Slimsim_stats.Generator
+module Estimator = Slimsim_stats.Estimator
+
+type result = {
+  probability : float;
+  ci_low : float;
+  ci_high : float;
+  paths : int;
+  successes : int;
+  deadlock_paths : int;
+  errors : int;
+  wall_seconds : float;
+}
+
+type tally = { mutable deadlocks : int }
+
+let feed_outcome gen tally v =
+  (match v with
+  | Path.Unsat_deadlock | Path.Unsat_timelock -> tally.deadlocks <- tally.deadlocks + 1
+  | Path.Sat _ | Path.Unsat_horizon | Path.Unsat_violated _ -> ());
+  Generator.feed gen (match v with Path.Sat _ -> true | _ -> false)
+
+let finish gen tally wall =
+  let est = Generator.estimator gen in
+  let lo, hi = Estimator.confidence_interval est ~delta:(Generator.delta gen) in
+  {
+    probability = Estimator.mean est;
+    ci_low = lo;
+    ci_high = hi;
+    paths = Estimator.trials est;
+    successes = Estimator.successes est;
+    deadlock_paths = tally.deadlocks;
+    errors = 0;
+    wall_seconds = wall;
+  }
+
+let run_sequential ~seed ~hold cfg net ~goal ~strategy ~generator =
+  let tally = { deadlocks = 0 } in
+  let t0 = Unix.gettimeofday () in
+  let rec go i =
+    if not (Generator.needs_more generator) then
+      Ok (finish generator tally (Unix.gettimeofday () -. t0))
+    else
+      let rng = Rng.for_path ~seed ~path:i in
+      match fst (Path.generate ~hold net cfg strategy rng ~goal) with
+      | Ok v ->
+        feed_outcome generator tally v;
+        go (i + 1)
+      | Error e -> Error e
+  in
+  go 0
+
+(* Parallel engine (§III-C).  Worker [w] simulates paths w, w+k, w+2k, …
+   into its own buffer; the collector consumes buffers in cyclic worker
+   order, i.e. in path order 0, 1, 2, …  This implements the buffered
+   balanced collection of [22] — the sample stream seen by the
+   (possibly sequential) statistical generator is a deterministic
+   function of the seed, independent of scheduling and of [k]. *)
+let run_parallel ~workers:k ~seed ~hold cfg net ~goal ~strategy ~generator =
+  let t0 = Unix.gettimeofday () in
+  let tally = { deadlocks = 0 } in
+  let stop = Atomic.make false in
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  let queues = Array.init k (fun _ -> Queue.create ()) in
+  let max_buffer = 256 in
+  let limit = Generator.planned_samples generator in
+  let worker w () =
+    let rec go id =
+      let exhausted = match limit with Some n -> id >= n | None -> false in
+      if exhausted || Atomic.get stop then ()
+      else begin
+        let rng = Rng.for_path ~seed ~path:id in
+        let outcome = fst (Path.generate ~hold net cfg strategy rng ~goal) in
+        Mutex.lock mutex;
+        while Queue.length queues.(w) >= max_buffer && not (Atomic.get stop) do
+          Condition.wait cond mutex
+        done;
+        if not (Atomic.get stop) then Queue.push outcome queues.(w);
+        Condition.broadcast cond;
+        Mutex.unlock mutex;
+        go (id + k)
+      end
+    in
+    go w
+  in
+  let domains = Array.init k (fun w -> Domain.spawn (worker w)) in
+  let next = ref 0 in
+  let failure = ref None in
+  let running = ref true in
+  while !running do
+    if not (Generator.needs_more generator) then begin
+      Mutex.lock mutex;
+      Atomic.set stop true;
+      Condition.broadcast cond;
+      Mutex.unlock mutex;
+      running := false
+    end
+    else begin
+      Mutex.lock mutex;
+      while Queue.is_empty queues.(!next) && not (Atomic.get stop) do
+        Condition.wait cond mutex
+      done;
+      let sample =
+        if Queue.is_empty queues.(!next) then None
+        else Some (Queue.pop queues.(!next))
+      in
+      Condition.broadcast cond;
+      Mutex.unlock mutex;
+      match sample with
+      | None -> running := false
+      | Some (Ok v) ->
+        feed_outcome generator tally v;
+        next := (!next + 1) mod k
+      | Some (Error e) ->
+        failure := Some e;
+        Mutex.lock mutex;
+        Atomic.set stop true;
+        Condition.broadcast cond;
+        Mutex.unlock mutex;
+        running := false
+    end
+  done;
+  Array.iter Domain.join domains;
+  match !failure with
+  | Some e -> Error e
+  | None -> Ok (finish generator tally (Unix.gettimeofday () -. t0))
+
+let run ?(workers = 1) ?(seed = 0x51135113L) ?config
+    ?(hold = Slimsim_sta.Expr.true_) net ~goal ~horizon ~strategy ~generator () =
+  let cfg =
+    match config with
+    | Some c -> { c with Path.horizon }
+    | None -> Path.default_config ~horizon
+  in
+  if workers <= 1 then run_sequential ~seed ~hold cfg net ~goal ~strategy ~generator
+  else
+    match strategy with
+    | Strategy.Scripted _ ->
+      Error (Path.Model_error "scripted strategies require workers = 1")
+    | _ -> run_parallel ~workers ~seed ~hold cfg net ~goal ~strategy ~generator
+
+let estimate ?workers ?seed ?config ?hold net ~goal ~horizon ~strategy ~delta ~eps
+    () =
+  let generator = Generator.create Generator.Chernoff ~delta ~eps in
+  run ?workers ?seed ?config ?hold net ~goal ~horizon ~strategy ~generator ()
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "p = %.6f  [%.6f, %.6f]  (%d/%d paths, %d dead/timelocked, %.2fs)"
+    r.probability r.ci_low r.ci_high r.successes r.paths r.deadlock_paths
+    r.wall_seconds

@@ -1,0 +1,56 @@
+(** The Monte Carlo engine: drives path generation until the statistical
+    generator (§III-A) is satisfied, sequentially or across multiple
+    domains (§III-C).
+
+    Path [i] always draws from an RNG derived from [(seed, i)] and
+    samples are consumed in path order (via buffered round-robin
+    collection in the parallel case), so an estimate is a deterministic
+    function of [(model, property, strategy, generator, seed)] —
+    independent of the number of workers. *)
+
+open Slimsim_sta
+
+type result = {
+  probability : float;
+  ci_low : float;
+  ci_high : float;  (** Hoeffding interval at the requested confidence *)
+  paths : int;
+  successes : int;
+  deadlock_paths : int;  (** paths falsified by dead/timelock (§III-D) *)
+  errors : int;  (** paths aborted by an error policy or model error *)
+  wall_seconds : float;
+}
+
+val run :
+  ?workers:int ->
+  ?seed:int64 ->
+  ?config:Path.config ->
+  ?hold:Expr.t ->
+  Network.t ->
+  goal:Expr.t ->
+  horizon:float ->
+  strategy:Strategy.t ->
+  generator:Slimsim_stats.Generator.t ->
+  unit ->
+  (result, Path.error) Result.t
+(** [workers = 1] (the default) runs in-process; [workers > 1] spawns
+    that many domains.  A path error under the [`Error] deadlock policy
+    aborts the whole run.  Scripted strategies are restricted to
+    [workers = 1] (scripts are stateful user callbacks). *)
+
+val estimate :
+  ?workers:int ->
+  ?seed:int64 ->
+  ?config:Path.config ->
+  ?hold:Expr.t ->
+  Network.t ->
+  goal:Expr.t ->
+  horizon:float ->
+  strategy:Strategy.t ->
+  delta:float ->
+  eps:float ->
+  unit ->
+  (result, Path.error) Result.t
+(** Convenience wrapper using the paper's Chernoff–Hoeffding generator. *)
+
+val pp_result : Format.formatter -> result -> unit

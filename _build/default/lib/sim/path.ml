@@ -1,0 +1,396 @@
+module I = Slimsim_intervals.Interval_set
+module Rng = Slimsim_stats.Rng
+module Dist = Slimsim_stats.Dist
+open Slimsim_sta
+
+type verdict =
+  | Sat of float
+  | Unsat_horizon
+  | Unsat_deadlock
+  | Unsat_timelock
+  | Unsat_violated of float
+      (** for until properties: the hold condition failed before the
+          goal was reached *)
+
+type error =
+  | Deadlock_error of string
+  | Step_limit
+  | Aborted
+  | Model_error of string
+
+type config = {
+  horizon : float;
+  max_steps : int;
+  on_deadlock : [ `Error | `Falsify ];
+  eps_nudge : float;
+}
+
+let default_config ~horizon =
+  { horizon; max_steps = 1_000_000; on_deadlock = `Falsify; eps_nudge = 1e-9 }
+
+type step_record = { at_time : float; chose_delay : float; description : string }
+
+exception Bail of error
+
+(* Resolve an until property along a delay of [cap] time units from
+   [state]: the property is satisfied at the earliest goal crossing
+   unless the hold condition fails strictly earlier ([hold = true] gives
+   plain reachability).  Exact for linear expressions; non-linear ones
+   fall back to endpoint evaluation. *)
+let until_crossing ?rates net state ~goal ~hold ~eps ~cap =
+  if cap < 0.0 then None
+  else begin
+    let rates =
+      match rates with Some r -> r | None -> State.rate_array net state
+    in
+    let window = I.inter (I.at_least 0.0) (I.at_most cap) in
+    let sat_or_endpoint e =
+      match
+        Linear.sat_set ~env:(State.env state) ~rate:(fun v -> rates.(v))
+          ~at_loc:(State.at_loc state) e
+      with
+      | s -> I.inter s window
+      | exception Linear.Nonlinear _ ->
+        if State.eval_bool (State.advance net ~rates state cap) e then I.point cap
+        else I.empty
+    in
+    let b_set = sat_or_endpoint goal in
+    let v_set =
+      if hold = Expr.true_ then I.empty
+      else I.diff (I.inter (I.complement (sat_or_endpoint hold)) window) b_set
+    in
+    let base = state.State.time in
+    match I.first_point ~eps b_set, I.first_point ~eps v_set with
+    | Some tb, Some tv ->
+      if tb <= tv then Some (Sat (base +. tb)) else Some (Unsat_violated (base +. tv))
+    | Some tb, None -> Some (Sat (base +. tb))
+    | None, Some tv -> Some (Unsat_violated (base +. tv))
+    | None, None -> None
+  end
+
+(* What fires next, and when. *)
+type decision =
+  | Fire_disc of float
+  | Fire_markov_tr of int * int * float  (* proc, transition, delay *)
+  | Advance_only of float
+  | Give_up of verdict
+
+(* The weighted variant implements importance sampling by failure
+   biasing: every exponential rate is multiplied by [bias] during
+   simulation, and the path's likelihood ratio w.r.t. the original
+   measure is accumulated so that the weighted indicator remains an
+   unbiased estimator.  For a holding time d with original total rate L:
+   surviving it contributes e^{(bias-1)·L·d}, and a rate transition
+   firing at d additionally contributes 1/bias. *)
+let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
+    ?bias_of net cfg strategy rng ~goal =
+  if bias <= 0.0 then invalid_arg "Path.generate_weighted: bias must be positive";
+  let factor =
+    match bias_of with
+    | Some f -> f
+    | None -> fun _proc _tr -> bias
+  in
+  let steps = ref [] in
+  let note ~at_time ~chose_delay description =
+    if record then steps := { at_time; chose_delay; description } :: !steps
+  in
+  let eps = cfg.eps_nudge in
+  let dead kind msg =
+    match cfg.on_deadlock with
+    | `Error -> raise (Bail (Deadlock_error msg))
+    | `Falsify -> kind
+  in
+  let log_lr = ref 0.0 in
+  let result =
+    try
+      let state = ref (State.initial net) in
+      let step_n = ref 0 in
+      let zero_advances = ref 0 in
+      let verdict = ref None in
+      while !verdict = None do
+        let s = !state in
+        if !step_n > cfg.max_steps then raise (Bail Step_limit);
+        incr step_n;
+        if State.eval_bool s goal then verdict := Some (Sat s.State.time)
+        else if hold <> Expr.true_ && not (State.eval_bool s hold) then
+          verdict := Some (Unsat_violated s.State.time)
+        else begin
+          let remaining = cfg.horizon -. s.State.time in
+          if remaining < 0.0 then verdict := Some Unsat_horizon
+          else begin
+            let step_rates = State.rate_array net s in
+            let inv_win = Moves.invariant_window ~rates:step_rates net s in
+            if I.is_empty inv_win then
+              verdict :=
+                Some (dead Unsat_timelock "invariant violated with no escape")
+            else begin
+              let timed = Moves.discrete ~rates:step_rates ~inv_win net s in
+              let markov = Moves.markovian net s in
+              let total_rate =
+                List.fold_left (fun acc (_, _, r) -> acc +. r) 0.0 markov
+              in
+              let total_biased =
+                List.fold_left
+                  (fun acc (pr, tr, r) -> acc +. (r *. factor pr tr))
+                  0.0 markov
+              in
+              let survival d =
+                if total_biased <> total_rate then
+                  log_lr := !log_lr +. ((total_biased -. total_rate) *. d)
+              in
+              let race =
+                match markov with
+                | [] -> None
+                | _ ->
+                  let rates =
+                    Array.of_list
+                      (List.map (fun (pr, tr, r) -> r *. factor pr tr) markov)
+                  in
+                  Dist.exponential_race rng ~rates
+              in
+              let inv_unbounded = I.sup inv_win = I.Pos_inf in
+              let decision =
+                match strategy with
+                | Strategy.Scripted script ->
+                  let alts =
+                    {
+                      Strategy.step = !step_n;
+                      state = s;
+                      inv_window = inv_win;
+                      timed;
+                      markov;
+                    }
+                  in
+                  (match script alts with
+                  | Strategy.Abort -> raise (Bail Aborted)
+                  | Strategy.Advance d ->
+                    if d < 0.0 then
+                      raise (Bail (Model_error "script chose a negative delay"));
+                    Advance_only d
+                  | Strategy.Fire { index; delay } -> (
+                    match List.nth_opt timed index with
+                    | None ->
+                      raise (Bail (Model_error "script chose an invalid move index"))
+                    | Some tm ->
+                      if not (I.mem delay tm.Moves.window) then
+                        raise
+                          (Bail
+                             (Model_error
+                                "script chose a delay outside the move's window"));
+                      (* Execute exactly the scripted move. *)
+                      let crossed =
+                        until_crossing ~rates:step_rates net s ~goal ~hold ~eps
+                          ~cap:(Float.min delay remaining)
+                      in
+                      (match crossed with
+                      | Some v -> Give_up v
+                      | None ->
+                        if delay > remaining then Give_up Unsat_horizon
+                        else begin
+                          state := Moves.apply net s ~delay tm.Moves.move;
+                          note ~at_time:s.State.time ~chose_delay:delay
+                            (Moves.describe net tm.Moves.move);
+                          Advance_only (-1.0) (* sentinel: already executed *)
+                        end))
+                  | Strategy.Fire_markov { index; delay } -> (
+                    match List.nth_opt markov index with
+                    | None ->
+                      raise (Bail (Model_error "script chose an invalid rate index"))
+                    | Some (p, tr, _) -> Fire_markov_tr (p, tr, delay)))
+                | _ ->
+                  (* Automated strategies: propose a discrete schedule,
+                     race it against the exponential winner. *)
+                  let d_disc =
+                    match timed with
+                    | [] -> None
+                    | _ -> (
+                      match strategy with
+                      | Strategy.Asap ->
+                        timed
+                        |> List.filter_map (fun tm ->
+                               I.first_point ~eps tm.Moves.window)
+                        |> List.fold_left Float.min infinity
+                        |> fun d -> if d = infinity then None else Some d
+                      | Strategy.Progressive ->
+                        let w =
+                          List.fold_left
+                            (fun acc tm -> I.union acc tm.Moves.window)
+                            I.empty timed
+                        in
+                        let w =
+                          if I.is_bounded w then w else I.clamp_above remaining w
+                        in
+                        I.sample_uniform (Rng.below rng) w
+                      | Strategy.Local ->
+                        let w =
+                          if I.is_bounded inv_win then inv_win
+                          else I.clamp_above remaining inv_win
+                        in
+                        I.sample_uniform (Rng.below rng) w
+                      | Strategy.Max_time ->
+                        if inv_unbounded then Some (remaining +. 1.0)
+                        else I.last_point_below ~eps infinity inv_win
+                      | Strategy.Scripted _ -> assert false)
+                  in
+                  let exp_candidate =
+                    match race with
+                    | Some (idx, t) when I.mem t inv_win ->
+                      let p, tr, _ = List.nth markov idx in
+                      Some (p, tr, t)
+                    | _ -> None
+                  in
+                  (match d_disc, exp_candidate with
+                  | None, None ->
+                    if timed = [] && markov = [] then
+                      if inv_unbounded then
+                        Give_up (dead Unsat_deadlock "no transition will ever be enabled")
+                      else
+                        Give_up
+                          (dead Unsat_timelock
+                             "invariant stops time with no enabled transition")
+                    else if timed = [] && markov <> [] then
+                      (* The exponential was scheduled past the invariant
+                         deadline and no guard can save the model. *)
+                      if inv_unbounded then Give_up Unsat_horizon
+                      else
+                        Give_up
+                          (dead Unsat_timelock
+                             "rate transition scheduled past an invariant deadline")
+                    else
+                      (* Guarded moves exist but only beyond the horizon. *)
+                      Give_up Unsat_horizon
+                  | Some d, None -> Fire_disc d
+                  | None, Some (p, tr, t) -> Fire_markov_tr (p, tr, t)
+                  | Some d, Some (p, tr, t) ->
+                    if t < d then Fire_markov_tr (p, tr, t) else Fire_disc d)
+              in
+              match decision with
+              | Give_up v ->
+                (* Check whether the goal is crossed while time runs out. *)
+                let v =
+                  if v = Unsat_horizon then
+                    let cap =
+                      match I.sup inv_win with
+                      | I.Fin (b, _) -> Float.min b remaining
+                      | _ -> remaining
+                    in
+                    match until_crossing ~rates:step_rates net s ~goal ~hold ~eps ~cap with
+                    | Some (Sat t as v') ->
+                      survival (t -. s.State.time);
+                      v'
+                    | Some v' -> v'
+                    | None -> v
+                  else v
+                in
+                verdict := Some v
+              | Advance_only d when d < 0.0 -> () (* scripted move already ran *)
+              | Advance_only d -> (
+                match
+                  until_crossing ~rates:step_rates net s ~goal ~hold ~eps
+                    ~cap:(Float.min d remaining)
+                with
+                | Some v ->
+                  (match v with
+                  | Sat t -> survival (t -. s.State.time)
+                  | _ -> ());
+                  verdict := Some v
+                | None ->
+                  if d > remaining then verdict := Some Unsat_horizon
+                  else begin
+                    survival d;
+                    if d <= 0.0 then begin
+                      incr zero_advances;
+                      if !zero_advances > 1000 then
+                        raise
+                          (Bail (Model_error "no progress: repeated zero-time advances"))
+                    end
+                    else zero_advances := 0;
+                    state := State.advance net s d;
+                    note ~at_time:s.State.time ~chose_delay:d "advance"
+                  end)
+              | Fire_markov_tr (p, tr, d) -> (
+                match
+                  until_crossing ~rates:step_rates net s ~goal ~hold ~eps
+                    ~cap:(Float.min d remaining)
+                with
+                | Some v ->
+                  (match v with
+                  | Sat t -> survival (t -. s.State.time)
+                  | _ -> ());
+                  verdict := Some v
+                | None ->
+                  if d > remaining then verdict := Some Unsat_horizon
+                  else begin
+                    survival d;
+                    let f = factor p tr in
+                    if f <> 1.0 then log_lr := !log_lr -. log f;
+                    let move = Moves.Local { proc = p; tr } in
+                    state := Moves.apply net s ~delay:d move;
+                    note ~at_time:s.State.time ~chose_delay:d
+                      (Moves.describe net move);
+                    zero_advances := 0
+                  end)
+              | Fire_disc d -> (
+                match
+                  until_crossing ~rates:step_rates net s ~goal ~hold ~eps
+                    ~cap:(Float.min d remaining)
+                with
+                | Some v ->
+                  (match v with
+                  | Sat t -> survival (t -. s.State.time)
+                  | _ -> ());
+                  verdict := Some v
+                | None ->
+                  if d > remaining then verdict := Some Unsat_horizon
+                  else begin
+                    survival d;
+                    match Moves.enabled_after net s d timed with
+                    | [] ->
+                      (* The nudged time point missed every window (or the
+                         landing state violates a target invariant): let
+                         the time pass and try again. *)
+                      if d <= 0.0 then begin
+                        incr zero_advances;
+                        if !zero_advances > 1000 then
+                          raise
+                            (Bail
+                               (Model_error
+                                  "no progress: enabled window is degenerate"))
+                      end;
+                      state := State.advance net s d;
+                      note ~at_time:s.State.time ~chose_delay:d "advance (missed)"
+                    | moves ->
+                      let move = Dist.uniform_choice rng moves in
+                      state := Moves.apply net s ~delay:d move;
+                      note ~at_time:s.State.time ~chose_delay:d
+                        (Moves.describe net move);
+                      zero_advances := 0
+                  end)
+            end
+          end
+        end
+      done;
+      Ok (Option.get !verdict, exp !log_lr)
+    with
+    | Bail e -> Error e
+    | Value.Type_error msg -> Error (Model_error ("type error: " ^ msg))
+    | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg))
+  in
+  (result, List.rev !steps)
+
+let generate ?record ?hold net cfg strategy rng ~goal =
+  let result, steps = generate_weighted ?record ?hold net cfg strategy rng ~goal in
+  (Result.map fst result, steps)
+
+let verdict_to_string = function
+  | Sat t -> Printf.sprintf "sat@%g" t
+  | Unsat_horizon -> "unsat (horizon)"
+  | Unsat_deadlock -> "unsat (deadlock)"
+  | Unsat_timelock -> "unsat (timelock)"
+  | Unsat_violated t -> Printf.sprintf "unsat (hold violated@%g)" t
+
+let error_to_string = function
+  | Deadlock_error msg -> "deadlock error: " ^ msg
+  | Step_limit -> "step limit exceeded"
+  | Aborted -> "aborted by script"
+  | Model_error msg -> "model error: " ^ msg

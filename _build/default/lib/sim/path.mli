@@ -1,0 +1,89 @@
+(** Generation of a single random path and evaluation of a timed
+    reachability property [P(<> [0, horizon] goal)] along it.
+
+    A path alternates timed and discrete transitions.  The strategy
+    proposes a schedule for the guarded moves; Markovian transitions race
+    against it with an exponentially distributed firing time (winner
+    chosen with probability rate/total, per the race semantics of
+    CTMCs); the earlier of the two fires.  The goal is also checked
+    {e during} delays — with linear dynamics the set of goal-satisfying
+    delays is computed exactly, so a goal crossed mid-delay is never
+    missed. *)
+
+module I = Slimsim_intervals.Interval_set
+open Slimsim_sta
+
+type verdict =
+  | Sat of float  (** the goal held at this time *)
+  | Unsat_horizon  (** the time bound elapsed without reaching the goal *)
+  | Unsat_deadlock  (** no move will ever be enabled (deadlock counts as ¬goal) *)
+  | Unsat_timelock
+      (** an invariant forces time to stop with no enabled move *)
+  | Unsat_violated of float
+      (** until properties only: the hold condition failed at this time,
+          before the goal was reached *)
+
+type error =
+  | Deadlock_error of string
+      (** a dead/timelock under the [`Error] policy (§III-D) *)
+  | Step_limit
+  | Aborted
+  | Model_error of string
+
+type config = {
+  horizon : float;  (** upper time bound of the property *)
+  max_steps : int;  (** safety net against non-progress cycles *)
+  on_deadlock : [ `Error | `Falsify ];
+  eps_nudge : float;  (** interior nudge for open interval endpoints *)
+}
+
+val default_config : horizon:float -> config
+(** [max_steps = 1_000_000], [on_deadlock = `Falsify],
+    [eps_nudge = 1e-9]. *)
+
+type step_record = {
+  at_time : float;
+  chose_delay : float;
+  description : string;
+}
+
+val generate :
+  ?record:bool ->
+  ?hold:Expr.t ->
+  Network.t ->
+  config ->
+  Strategy.t ->
+  Slimsim_stats.Rng.t ->
+  goal:Expr.t ->
+  (verdict, error) result * step_record list
+(** Run one path from the initial state.  With the default
+    [hold = true] this checks timed reachability [<> [0,u] goal]; a
+    non-trivial [hold] checks the bounded until [hold U [0,u] goal]
+    (the goal must be reached while [hold] stays true — the CSL
+    extension named as future work in §VII).  The step list is empty
+    unless [record] is set. *)
+
+val generate_weighted :
+  ?record:bool ->
+  ?hold:Expr.t ->
+  ?bias:float ->
+  ?bias_of:(int -> int -> float) ->
+  Network.t ->
+  config ->
+  Strategy.t ->
+  Slimsim_stats.Rng.t ->
+  goal:Expr.t ->
+  (verdict * float, error) result * step_record list
+(** Importance-sampled path generation for rare events (§VI): every
+    exponential rate is multiplied by [bias] (failure biasing) and the
+    path's likelihood ratio w.r.t. the unbiased measure is returned, so
+    that [ratio · 1{Sat}] is an unbiased estimate of the reachability
+    probability.  [bias = 1] (the default) degenerates to {!generate}
+    with ratio 1.  [bias_of proc tr] overrides the uniform factor with a
+    per-transition one — *selective* failure biasing, which is essential
+    when the model mixes failure and repair/service rates (scaling both
+    leaves the embedded chain unchanged and only inflates the weight
+    variance). *)
+
+val verdict_to_string : verdict -> string
+val error_to_string : error -> string

@@ -1,0 +1,35 @@
+module I = Slimsim_intervals.Interval_set
+
+type alternatives = {
+  step : int;
+  state : Slimsim_sta.State.t;
+  inv_window : I.t;
+  timed : Slimsim_sta.Moves.timed list;
+  markov : (int * int * float) list;
+}
+
+type choice =
+  | Fire of { index : int; delay : float }
+  | Fire_markov of { index : int; delay : float }
+  | Advance of float
+  | Abort
+
+type script = alternatives -> choice
+
+type t = Asap | Progressive | Local | Max_time | Scripted of script
+
+let to_string = function
+  | Asap -> "asap"
+  | Progressive -> "progressive"
+  | Local -> "local"
+  | Max_time -> "maxtime"
+  | Scripted _ -> "input"
+
+let of_string = function
+  | "asap" -> Ok Asap
+  | "progressive" -> Ok Progressive
+  | "local" -> Ok Local
+  | "maxtime" | "max-time" | "max_time" -> Ok Max_time
+  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+let all_automated = [ Asap; Progressive; Local; Max_time ]

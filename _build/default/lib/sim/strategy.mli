@@ -1,0 +1,51 @@
+(** Resolution of non-determinism (§III-B).
+
+    Where the specification underspecifies what happens next — several
+    transitions enabled, or an interval of admissible delays — a strategy
+    decides.  Discrete underspecification is always resolved
+    equiprobably; strategies differ in how they schedule *time*:
+
+    - {b ASAP}: fire at the first possible time point (the "urgent"
+      semantics of MODES).
+    - {b Progressive}: pick uniformly from the exact union of intervals
+      in which some discrete transition is enabled (UPPAAL-SMC-like).
+    - {b Local}: ignore the guards and pick uniformly from the delays the
+      current locations' invariants admit.
+    - {b MaxTime}: delay as long as the invariants allow — useful for
+      finding actionlocks.
+    - {b Scripted}: the paper's interactive Input strategy, driven by a
+      callback instead of a terminal so it can be tested offline. *)
+
+module I = Slimsim_intervals.Interval_set
+
+type alternatives = {
+  step : int;
+  state : Slimsim_sta.State.t;
+  inv_window : I.t;  (** admissible delays *)
+  timed : Slimsim_sta.Moves.timed list;  (** guarded moves and windows *)
+  markov : (int * int * float) list;  (** rate transitions available *)
+}
+
+type choice =
+  | Fire of { index : int; delay : float }
+      (** fire [List.nth timed index] after [delay] *)
+  | Fire_markov of { index : int; delay : float }
+      (** fire [List.nth markov index] after [delay] *)
+  | Advance of float  (** let time pass without firing *)
+  | Abort  (** give up on this path (reported as an error) *)
+
+type script = alternatives -> choice
+
+type t =
+  | Asap
+  | Progressive
+  | Local
+  | Max_time
+  | Scripted of script
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Parses the four automated strategies (the Input strategy needs a
+    script and cannot be named on a command line). *)
+
+val all_automated : t list

@@ -1,0 +1,22 @@
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv steps =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "time,delay,action\n";
+  List.iter
+    (fun (s : Path.step_record) ->
+      Buffer.add_string b
+        (Printf.sprintf "%.9g,%.9g,%s\n" s.Path.at_time s.Path.chose_delay
+           (csv_escape s.Path.description)))
+    steps;
+  Buffer.contents b
+
+let pp ppf steps =
+  List.iter
+    (fun (s : Path.step_record) ->
+      Fmt.pf ppf "t=%-10.4f +%-8.4f %s@." s.Path.at_time s.Path.chose_delay
+        s.Path.description)
+    steps

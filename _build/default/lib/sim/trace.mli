@@ -1,0 +1,9 @@
+(** Export of recorded simulation paths — the COMPASS GUI shows traces;
+    here they become machine-readable artifacts. *)
+
+val to_csv : Path.step_record list -> string
+(** Header [time,delay,action] and one row per step; commas and quotes
+    in descriptions are escaped per RFC 4180. *)
+
+val pp : Format.formatter -> Path.step_record list -> unit
+(** Human-readable rendering (the CLI's default). *)

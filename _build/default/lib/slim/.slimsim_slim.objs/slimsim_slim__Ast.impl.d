@@ -1,0 +1,1 @@
+lib/slim/ast.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/slim/instance.ml: Ast Hashtbl List Printf Sema String

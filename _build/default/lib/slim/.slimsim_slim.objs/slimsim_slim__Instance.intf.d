@@ -1,0 +1,1 @@
+lib/slim/instance.mli: Ast Sema

@@ -1,0 +1,1 @@
+lib/slim/lexer.ml: Format List String Token

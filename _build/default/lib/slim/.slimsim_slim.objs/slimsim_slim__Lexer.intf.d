@@ -1,0 +1,1 @@
+lib/slim/lexer.mli: Token

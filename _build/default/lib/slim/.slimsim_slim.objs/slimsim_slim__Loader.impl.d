@@ -1,0 +1,1 @@
+lib/slim/loader.ml: Ast In_channel Parser Result Sema Slimsim_sta Translate

@@ -1,0 +1,1 @@
+lib/slim/loader.mli: Ast Sema Slimsim_sta

@@ -1,0 +1,1 @@
+lib/slim/parser.ml: Array Ast Format Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/slim/parser.mli: Ast

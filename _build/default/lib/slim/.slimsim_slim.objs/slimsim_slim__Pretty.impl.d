@@ -1,0 +1,1 @@
+lib/slim/pretty.ml: Ast Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/slim/pretty.mli: Ast Format

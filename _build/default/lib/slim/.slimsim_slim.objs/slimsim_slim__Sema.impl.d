@@ -1,0 +1,1 @@
+lib/slim/sema.ml: Ast Fmt Format Hashtbl List String

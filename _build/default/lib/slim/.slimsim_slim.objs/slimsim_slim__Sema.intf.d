@@ -1,0 +1,1 @@
+lib/slim/sema.mli: Ast Format Hashtbl

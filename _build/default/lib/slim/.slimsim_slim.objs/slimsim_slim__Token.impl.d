@@ -1,0 +1,1 @@
+lib/slim/token.ml: List

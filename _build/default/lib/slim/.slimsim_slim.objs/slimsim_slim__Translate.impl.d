@@ -1,0 +1,1 @@
+lib/slim/translate.ml: Array Ast Float Format Hashtbl Instance List Sema Slimsim_sta String

@@ -1,0 +1,1 @@
+lib/slim/translate.mli: Ast Sema Slimsim_sta

@@ -1,0 +1,253 @@
+(* Surface abstract syntax of the SLIM dialect.  Kept deliberately close
+   to the concrete grammar in docs/LANGUAGE.md; all resolution happens in
+   Sema/Translate. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+type category =
+  | System | Device | Process | Thread | Processor | Bus | Abstract
+
+type ty =
+  | T_bool
+  | T_int
+  | T_int_range of int * int
+  | T_real
+  | T_clock
+  | T_continuous
+
+type name_path = string list
+(* A dotted reference, e.g. ["gps"; "fix"]. *)
+
+type unop = U_neg | U_not
+
+type binop =
+  | B_add | B_sub | B_mul | B_div | B_mod
+  | B_and | B_or | B_implies
+  | B_eq | B_neq | B_lt | B_le | B_gt | B_ge
+  | B_min | B_max
+
+type expr =
+  | E_bool of bool
+  | E_int of int
+  | E_real of float
+  | E_path of name_path
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_in_mode of name_path * string
+      (* [comp in mode m]; property contexts only *)
+
+type port_dir = In | Out
+
+type port_kind = P_event | P_data of ty * expr option  (* type, default *)
+
+type feature = {
+  f_name : string;
+  f_dir : port_dir;
+  f_kind : port_kind;
+  f_pos : pos;
+}
+
+type comp_type = {
+  ct_category : category;
+  ct_name : string;
+  ct_features : feature list;
+  ct_pos : pos;
+}
+
+type data_sub = {
+  sd_name : string;
+  sd_ty : ty;
+  sd_init : expr option;
+  sd_pos : pos;
+}
+
+type comp_sub = {
+  sc_name : string;
+  sc_category : category;
+  sc_impl : string * string;  (* type name, implementation name *)
+  sc_in_modes : string list;  (* empty = active in all modes *)
+  sc_restart : bool;  (* restart (vs resume) on reactivation *)
+  sc_pos : pos;
+}
+
+type subcomp = Sub_data of data_sub | Sub_comp of comp_sub
+
+type connection = {
+  cn_src : name_path;
+  cn_dst : name_path;
+  cn_pos : pos;
+}
+
+type mode = {
+  m_name : string;
+  m_initial : bool;
+  m_invariant : expr option;
+  m_derivs : (string * float) list;
+  m_pos : pos;
+}
+
+type trigger =
+  | Trig_none  (* internal (τ) *)
+  | Trig_event of name_path  (* event port *)
+  | Trig_rate of float  (* exponential delay *)
+
+type effect =
+  | Eff_assign of name_path * expr
+  | Eff_reset of name_path  (* restart a subcomponent (and its error model) *)
+
+type transition = {
+  t_src : string;
+  t_dst : string;
+  t_trigger : trigger;
+  t_guard : expr option;
+  t_effects : effect list;
+  t_pos : pos;
+}
+
+type flow = {
+  fl_target : string;  (* own out data port *)
+  fl_expr : expr;
+  fl_pos : pos;
+}
+
+type comp_impl = {
+  ci_category : category;
+  ci_type : string;
+  ci_name : string;  (* implementation suffix, e.g. "Imp" *)
+  ci_subcomps : subcomp list;
+  ci_connections : connection list;
+  ci_flows : flow list;
+  ci_modes : mode list;
+  ci_transitions : transition list;
+  ci_pos : pos;
+}
+
+(* Error models (§II-D): states, exponential error events, propagations
+   that synchronize across components, and the @activation pseudo-event
+   fired when the host component is reset/reactivated. *)
+
+type error_state = { es_name : string; es_initial : bool; es_pos : pos }
+
+type error_event = { ee_name : string; ee_rate : float; ee_pos : pos }
+
+type error_propagation = {
+  ep_name : string;
+  ep_dir : port_dir;
+  ep_pos : pos;
+}
+
+type error_trigger =
+  | Etrig_event of string  (* error event or propagation, by name *)
+  | Etrig_within of string option * float * float
+      (* optional label, non-deterministic delay window [a, b] *)
+  | Etrig_activation
+
+type error_transition = {
+  et_src : string;
+  et_dst : string;
+  et_trigger : error_trigger;
+  et_pos : pos;
+}
+
+type error_model = {
+  em_name : string;
+  em_states : error_state list;
+  em_events : error_event list;
+  em_propagations : error_propagation list;
+  em_transitions : error_transition list;
+  em_pos : pos;
+}
+
+type injection = {
+  inj_state : string;  (* error state *)
+  inj_target : name_path;  (* out data port of the extended instance *)
+  inj_value : expr;
+  inj_pos : pos;
+}
+
+type extension = {
+  ex_target : name_path;  (* instance path relative to the root *)
+  ex_error_model : string;
+  ex_injections : injection list;
+  ex_pos : pos;
+}
+
+type declaration =
+  | D_comp_type of comp_type
+  | D_comp_impl of comp_impl
+  | D_error_model of error_model
+  | D_extension of extension
+
+type model = {
+  declarations : declaration list;
+  root : string * string;  (* root implementation: type, impl *)
+}
+
+let category_to_string = function
+  | System -> "system" | Device -> "device" | Process -> "process"
+  | Thread -> "thread" | Processor -> "processor" | Bus -> "bus"
+  | Abstract -> "abstract"
+
+let ty_to_string = function
+  | T_bool -> "bool"
+  | T_int -> "int"
+  | T_int_range (a, b) -> Printf.sprintf "int [%d, %d]" a b
+  | T_real -> "real"
+  | T_clock -> "clock"
+  | T_continuous -> "continuous"
+
+let path_to_string p = String.concat "." p
+
+(* Structural comparison helpers: positions are concrete-syntax metadata
+   and must not affect AST equality (used by round-trip tests). *)
+let rec strip_positions (m : model) : model =
+  { m with declarations = List.map strip_decl m.declarations }
+
+and strip_decl = function
+  | D_comp_type ct ->
+    D_comp_type
+      {
+        ct with
+        ct_pos = no_pos;
+        ct_features = List.map (fun f -> { f with f_pos = no_pos }) ct.ct_features;
+      }
+  | D_comp_impl ci ->
+    D_comp_impl
+      {
+        ci with
+        ci_pos = no_pos;
+        ci_subcomps =
+          List.map
+            (function
+              | Sub_data d -> Sub_data { d with sd_pos = no_pos }
+              | Sub_comp c -> Sub_comp { c with sc_pos = no_pos })
+            ci.ci_subcomps;
+        ci_connections =
+          List.map (fun c -> { c with cn_pos = no_pos }) ci.ci_connections;
+        ci_flows = List.map (fun f -> { f with fl_pos = no_pos }) ci.ci_flows;
+        ci_modes = List.map (fun m -> { m with m_pos = no_pos }) ci.ci_modes;
+        ci_transitions =
+          List.map (fun t -> { t with t_pos = no_pos }) ci.ci_transitions;
+      }
+  | D_error_model em ->
+    D_error_model
+      {
+        em with
+        em_pos = no_pos;
+        em_states = List.map (fun s -> { s with es_pos = no_pos }) em.em_states;
+        em_events = List.map (fun e -> { e with ee_pos = no_pos }) em.em_events;
+        em_propagations =
+          List.map (fun p -> { p with ep_pos = no_pos }) em.em_propagations;
+        em_transitions =
+          List.map (fun t -> { t with et_pos = no_pos }) em.em_transitions;
+      }
+  | D_extension ex ->
+    D_extension
+      {
+        ex with
+        ex_pos = no_pos;
+        ex_injections =
+          List.map (fun i -> { i with inj_pos = no_pos }) ex.ex_injections;
+      }

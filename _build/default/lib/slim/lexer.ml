@@ -1,0 +1,110 @@
+exception Lex_error of string * int * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let toks = ref [] in
+  let emit tok = toks := { Token.tok; line = !line; col = !col } :: !toks in
+  let error fmt =
+    Format.kasprintf (fun m -> raise (Lex_error (m, !line, !col))) fmt
+  in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let advance k =
+    for j = !i to !i + k - 1 do
+      if j < n && src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_alnum src.[!j] do
+        incr j
+      done;
+      let word = String.sub src start (!j - start) in
+      let lower = String.lowercase_ascii word in
+      if Token.is_keyword lower then emit (Token.KW lower)
+      else emit (Token.IDENT word);
+      advance (!j - start)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      let is_float = ref false in
+      (* A '.' begins a fraction only if not followed by another '.'. *)
+      if !j < n && src.[!j] = '.' && not (!j + 1 < n && src.[!j + 1] = '.') then begin
+        is_float := true;
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done
+      end;
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+        let k = ref (!j + 1) in
+        if !k < n && (src.[!k] = '+' || src.[!k] = '-') then incr k;
+        if !k < n && is_digit src.[!k] then begin
+          is_float := true;
+          while !k < n && is_digit src.[!k] do
+            incr k
+          done;
+          j := !k
+        end
+      end;
+      let text = String.sub src start (!j - start) in
+      if !is_float then emit (Token.FLOAT (float_of_string text))
+      else emit (Token.INT (int_of_string text));
+      advance (!j - start)
+    end
+    else begin
+      let two tok = emit tok; advance 2 in
+      let one tok = emit tok; advance 1 in
+      match c, peek 1 with
+      | ':', Some '=' -> two Token.ASSIGN
+      | ':', _ -> one Token.COLON
+      | '-', Some '>' -> two Token.ARROW
+      | '-', _ -> one Token.MINUS
+      | '=', Some '>' -> two Token.IMPLIES
+      | '=', _ -> one Token.EQ
+      | '!', Some '=' -> two Token.NEQ
+      | '<', Some '=' -> two Token.LE
+      | '<', _ -> one Token.LT
+      | '>', Some '=' -> two Token.GE
+      | '>', _ -> one Token.GT
+      | '.', Some '.' -> two Token.DOTDOT
+      | '.', _ -> one Token.DOT
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | ';', _ -> one Token.SEMI
+      | ',', _ -> one Token.COMMA
+      | '+', _ -> one Token.PLUS
+      | '*', _ -> one Token.STAR
+      | '/', _ -> one Token.SLASH
+      | '@', _ -> one Token.AT
+      | _ -> error "unexpected character %C" c
+    end
+  done;
+  emit Token.EOF;
+  List.rev !toks

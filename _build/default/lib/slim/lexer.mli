@@ -1,0 +1,9 @@
+(** Hand-written lexer for the SLIM dialect.
+
+    Comments run from [--] to end of line (AADL style).  Numeric literals
+    never swallow a following [..] (so [0.2 .. 0.3] lexes as expected). *)
+
+exception Lex_error of string * int * int  (** message, line, column *)
+
+val tokenize : string -> Token.located list
+(** Tokens of the input, ending with [EOF].  Raises [Lex_error]. *)

@@ -1,0 +1,24 @@
+type loaded = {
+  ast : Ast.model;
+  tables : Sema.tables;
+  network : Slimsim_sta.Network.t;
+}
+
+let ( let* ) = Result.bind
+
+let load_string src =
+  let* ast = Parser.parse_model src in
+  let* tables =
+    Sema.analyze ast |> Result.map_error Sema.errors_to_string
+  in
+  let* network = Translate.translate tables in
+  Ok { ast; tables; network }
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> load_string src
+  | exception Sys_error msg -> Error msg
+
+let parse_goal network src =
+  let* e = Parser.parse_expression ~allow_mode_atoms:true src in
+  Translate.resolve_property network e

@@ -1,0 +1,16 @@
+(** One-call front door: parse, analyze, instantiate and translate a SLIM
+    model (the frontend + simulator-backend pipeline of §II-F/III-A). *)
+
+type loaded = {
+  ast : Ast.model;
+  tables : Sema.tables;
+  network : Slimsim_sta.Network.t;
+}
+
+val load_string : string -> (loaded, string) result
+val load_file : string -> (loaded, string) result
+
+val parse_goal :
+  Slimsim_sta.Network.t -> string -> (Slimsim_sta.Expr.t, string) result
+(** Parse and resolve a Boolean property expression (with [in mode]
+    atoms) against a loaded network. *)

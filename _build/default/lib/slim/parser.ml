@@ -1,0 +1,669 @@
+open Ast
+
+exception Parse_error of string * int * int
+
+type st = {
+  toks : Token.located array;
+  mutable pos : int;
+  allow_mode_atoms : bool;
+}
+
+let cur st = st.toks.(st.pos)
+let peek_tok st = (cur st).Token.tok
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Token.tok
+  else Token.EOF
+
+let here st =
+  let t = cur st in
+  { line = t.Token.line; col = t.Token.col }
+
+let error st fmt =
+  let t = cur st in
+  Format.kasprintf
+    (fun m -> raise (Parse_error (m, t.Token.line, t.Token.col)))
+    fmt
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek_tok st = tok then advance st
+  else
+    error st "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (peek_tok st))
+
+let accept st tok =
+  if peek_tok st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let kw st k = accept st (Token.KW k)
+
+let expect_kw st k =
+  if not (kw st k) then
+    error st "expected %S but found %s" k (Token.to_string (peek_tok st))
+
+let at_kw st k = peek_tok st = Token.KW k
+
+let ident st =
+  match peek_tok st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> error st "expected an identifier but found %s" (Token.to_string t)
+
+let number st =
+  let neg = accept st Token.MINUS in
+  let x =
+    match peek_tok st with
+    | Token.INT n ->
+      advance st;
+      float_of_int n
+    | Token.FLOAT f ->
+      advance st;
+      f
+    | t -> error st "expected a number but found %s" (Token.to_string t)
+  in
+  if neg then -.x else x
+
+let int_lit st =
+  let neg = accept st Token.MINUS in
+  match peek_tok st with
+  | Token.INT n ->
+    advance st;
+    if neg then -n else n
+  | t -> error st "expected an integer but found %s" (Token.to_string t)
+
+let path st =
+  let first = ident st in
+  let rec go acc =
+    if peek_tok st = Token.DOT then begin
+      advance st;
+      go (ident st :: acc)
+    end
+    else List.rev acc
+  in
+  go [ first ]
+
+(* --- expressions --- *)
+
+let rec expr st = implies_expr st
+
+and implies_expr st =
+  let lhs = or_expr st in
+  if accept st Token.IMPLIES then E_binop (B_implies, lhs, implies_expr st)
+  else lhs
+
+and or_expr st =
+  let lhs = and_expr st in
+  let rec go lhs =
+    if kw st "or" then go (E_binop (B_or, lhs, and_expr st)) else lhs
+  in
+  go lhs
+
+and and_expr st =
+  let lhs = not_expr st in
+  let rec go lhs =
+    if kw st "and" then go (E_binop (B_and, lhs, not_expr st)) else lhs
+  in
+  go lhs
+
+and not_expr st =
+  if kw st "not" then E_unop (U_not, not_expr st) else cmp_expr st
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  let op =
+    match peek_tok st with
+    | Token.EQ -> Some B_eq
+    | Token.NEQ -> Some B_neq
+    | Token.LT -> Some B_lt
+    | Token.LE -> Some B_le
+    | Token.GT -> Some B_gt
+    | Token.GE -> Some B_ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    E_binop (op, lhs, add_expr st)
+
+and add_expr st =
+  let lhs = mul_expr st in
+  let rec go lhs =
+    match peek_tok st with
+    | Token.PLUS ->
+      advance st;
+      go (E_binop (B_add, lhs, mul_expr st))
+    | Token.MINUS ->
+      advance st;
+      go (E_binop (B_sub, lhs, mul_expr st))
+    | _ -> lhs
+  in
+  go lhs
+
+and mul_expr st =
+  let lhs = unary_expr st in
+  let rec go lhs =
+    match peek_tok st with
+    | Token.STAR ->
+      advance st;
+      go (E_binop (B_mul, lhs, unary_expr st))
+    | Token.SLASH ->
+      advance st;
+      go (E_binop (B_div, lhs, unary_expr st))
+    | Token.KW "mod" ->
+      advance st;
+      go (E_binop (B_mod, lhs, unary_expr st))
+    | _ -> lhs
+  in
+  go lhs
+
+and unary_expr st =
+  if accept st Token.MINUS then E_unop (U_neg, unary_expr st)
+  else primary_expr st
+
+and primary_expr st =
+  match peek_tok st with
+  | Token.KW "true" ->
+    advance st;
+    E_bool true
+  | Token.KW "false" ->
+    advance st;
+    E_bool false
+  | Token.INT n ->
+    advance st;
+    E_int n
+  | Token.FLOAT f ->
+    advance st;
+    E_real f
+  | Token.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.KW (("min" | "max") as k) ->
+    advance st;
+    expect st Token.LPAREN;
+    let e1 = expr st in
+    expect st Token.COMMA;
+    let e2 = expr st in
+    expect st Token.RPAREN;
+    E_binop ((if k = "min" then B_min else B_max), e1, e2)
+  | Token.IDENT _ ->
+    let p = path st in
+    if st.allow_mode_atoms && at_kw st "in" && peek2 st = Token.KW "mode" then begin
+      expect_kw st "in";
+      expect_kw st "mode";
+      E_in_mode (p, ident st)
+    end
+    else E_path p
+  | t -> error st "expected an expression but found %s" (Token.to_string t)
+
+(* --- types and features --- *)
+
+let parse_ty st =
+  if kw st "bool" then T_bool
+  else if kw st "real" then T_real
+  else if kw st "clock" then T_clock
+  else if kw st "continuous" then T_continuous
+  else if kw st "int" then
+    if accept st Token.LBRACKET then begin
+      let a = int_lit st in
+      expect st Token.COMMA;
+      let b = int_lit st in
+      expect st Token.RBRACKET;
+      T_int_range (a, b)
+    end
+    else T_int
+  else error st "expected a type but found %s" (Token.to_string (peek_tok st))
+
+let parse_dir st =
+  if kw st "in" then In
+  else if kw st "out" then Out
+  else error st "expected 'in' or 'out'"
+
+let parse_feature st =
+  let f_pos = here st in
+  let f_name = ident st in
+  expect st Token.COLON;
+  let f_dir = parse_dir st in
+  let f_kind =
+    if kw st "event" then begin
+      expect_kw st "port";
+      P_event
+    end
+    else if kw st "data" then begin
+      expect_kw st "port";
+      let ty = parse_ty st in
+      let default = if accept st Token.ASSIGN then Some (expr st) else None in
+      P_data (ty, default)
+    end
+    else error st "expected 'event port' or 'data port'"
+  in
+  expect st Token.SEMI;
+  { f_name; f_dir; f_kind; f_pos }
+
+let category_of_kw = function
+  | "system" -> Some System
+  | "device" -> Some Device
+  | "process" -> Some Process
+  | "thread" -> Some Thread
+  | "processor" -> Some Processor
+  | "bus" -> Some Bus
+  | "abstract" -> Some Abstract
+  | _ -> None
+
+let peek_category st =
+  match peek_tok st with
+  | Token.KW k -> category_of_kw k
+  | _ -> None
+
+(* --- component implementations --- *)
+
+let parse_subcomp st =
+  let pos = here st in
+  let name = ident st in
+  expect st Token.COLON;
+  if kw st "data" then begin
+    let ty = parse_ty st in
+    let init = if accept st Token.ASSIGN then Some (expr st) else None in
+    expect st Token.SEMI;
+    Sub_data { sd_name = name; sd_ty = ty; sd_init = init; sd_pos = pos }
+  end
+  else
+    match peek_category st with
+    | None -> error st "expected 'data' or a component category"
+    | Some cat ->
+      advance st;
+      let tname = ident st in
+      expect st Token.DOT;
+      let iname = ident st in
+      let in_modes =
+        if at_kw st "in" && peek2 st = Token.KW "modes" then begin
+          expect_kw st "in";
+          expect_kw st "modes";
+          expect st Token.LPAREN;
+          let rec go acc =
+            let m = ident st in
+            if accept st Token.COMMA then go (m :: acc) else List.rev (m :: acc)
+          in
+          let ms = go [] in
+          expect st Token.RPAREN;
+          ms
+        end
+        else []
+      in
+      let restart = kw st "restart" in
+      expect st Token.SEMI;
+      Sub_comp
+        {
+          sc_name = name;
+          sc_category = cat;
+          sc_impl = (tname, iname);
+          sc_in_modes = in_modes;
+          sc_restart = restart;
+          sc_pos = pos;
+        }
+
+let parse_connection st =
+  let pos = here st in
+  ignore (kw st "port" || kw st "event");
+  let src = path st in
+  expect st Token.ARROW;
+  let dst = path st in
+  expect st Token.SEMI;
+  { cn_src = src; cn_dst = dst; cn_pos = pos }
+
+let parse_mode st =
+  let pos = here st in
+  let name = ident st in
+  expect st Token.COLON;
+  let initial = kw st "initial" in
+  expect_kw st "mode";
+  let invariant = if kw st "while" then Some (expr st) else None in
+  let derivs =
+    if kw st "der" then begin
+      let rec go acc =
+        let v = ident st in
+        expect st Token.EQ;
+        let x = number st in
+        if accept st Token.COMMA then go ((v, x) :: acc)
+        else List.rev ((v, x) :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  expect st Token.SEMI;
+  { m_name = name; m_initial = initial; m_invariant = invariant;
+    m_derivs = derivs; m_pos = pos }
+
+let parse_effect st =
+  if kw st "reset" then Eff_reset (path st)
+  else begin
+    let target = path st in
+    expect st Token.ASSIGN;
+    Eff_assign (target, expr st)
+  end
+
+let parse_transition st =
+  let pos = here st in
+  let src = ident st in
+  expect st Token.MINUS;
+  expect st Token.LBRACKET;
+  let trigger =
+    match peek_tok st with
+    | Token.KW "rate" ->
+      advance st;
+      Trig_rate (number st)
+    | Token.IDENT _ -> Trig_event (path st)
+    | _ -> Trig_none
+  in
+  let guard = if kw st "when" then Some (expr st) else None in
+  let effects =
+    if kw st "then" then begin
+      let rec go acc =
+        let e = parse_effect st in
+        if accept st Token.SEMI then go (e :: acc) else List.rev (e :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  expect st Token.RBRACKET;
+  expect st Token.ARROW;
+  let dst = ident st in
+  expect st Token.SEMI;
+  { t_src = src; t_dst = dst; t_trigger = trigger; t_guard = guard;
+    t_effects = effects; t_pos = pos }
+
+let parse_comp_impl st cat =
+  let pos = here st in
+  expect_kw st "implementation";
+  let tname = ident st in
+  expect st Token.DOT;
+  let iname = ident st in
+  let subcomps = ref [] and connections = ref [] and flows = ref [] in
+  let modes = ref [] and transitions = ref [] in
+  let rec sections () =
+    if kw st "subcomponents" then begin
+      while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+        subcomps := parse_subcomp st :: !subcomps
+      done;
+      sections ()
+    end
+    else if kw st "connections" then begin
+      let starts_connection () =
+        match peek_tok st with
+        | Token.IDENT _ -> true
+        | Token.KW ("port" | "event") -> true
+        | _ -> false
+      in
+      while starts_connection () do
+        connections := parse_connection st :: !connections
+      done;
+      sections ()
+    end
+    else if kw st "flows" then begin
+      while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+        let p = here st in
+        let target = ident st in
+        expect st Token.ASSIGN;
+        let e = expr st in
+        expect st Token.SEMI;
+        flows := { fl_target = target; fl_expr = e; fl_pos = p } :: !flows
+      done;
+      sections ()
+    end
+    else if kw st "modes" then begin
+      while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+        modes := parse_mode st :: !modes
+      done;
+      sections ()
+    end
+    else if kw st "transitions" then begin
+      while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+        transitions := parse_transition st :: !transitions
+      done;
+      sections ()
+    end
+  in
+  sections ();
+  expect_kw st "end";
+  let tname' = ident st in
+  expect st Token.DOT;
+  let iname' = ident st in
+  expect st Token.SEMI;
+  if tname' <> tname || iname' <> iname then
+    error st "implementation %s.%s ends with mismatched name %s.%s" tname iname
+      tname' iname';
+  {
+    ci_category = cat;
+    ci_type = tname;
+    ci_name = iname;
+    ci_subcomps = List.rev !subcomps;
+    ci_connections = List.rev !connections;
+    ci_flows = List.rev !flows;
+    ci_modes = List.rev !modes;
+    ci_transitions = List.rev !transitions;
+    ci_pos = pos;
+  }
+
+let parse_comp_type st cat =
+  let pos = here st in
+  let name = ident st in
+  let features = ref [] in
+  if kw st "features" then
+    while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+      features := parse_feature st :: !features
+    done;
+  expect_kw st "end";
+  let name' = ident st in
+  expect st Token.SEMI;
+  if name' <> name then
+    error st "component type %s ends with mismatched name %s" name name';
+  { ct_category = cat; ct_name = name; ct_features = List.rev !features;
+    ct_pos = pos }
+
+(* --- error models --- *)
+
+let parse_error_transition st =
+  let pos = here st in
+  let src = ident st in
+  expect st Token.MINUS;
+  expect st Token.LBRACKET;
+  let trigger =
+    if accept st Token.AT then begin
+      expect_kw st "activation";
+      Etrig_activation
+    end
+    else if kw st "within" then begin
+      let a = number st in
+      expect st Token.DOTDOT;
+      let b = number st in
+      Etrig_within (None, a, b)
+    end
+    else begin
+      let name = ident st in
+      if kw st "within" then begin
+        let a = number st in
+        expect st Token.DOTDOT;
+        let b = number st in
+        Etrig_within (Some name, a, b)
+      end
+      else Etrig_event name
+    end
+  in
+  expect st Token.RBRACKET;
+  expect st Token.ARROW;
+  let dst = ident st in
+  expect st Token.SEMI;
+  { et_src = src; et_dst = dst; et_trigger = trigger; et_pos = pos }
+
+let parse_error_model st =
+  let pos = here st in
+  expect_kw st "model";
+  let name = ident st in
+  let states = ref [] and events = ref [] in
+  let propagations = ref [] and transitions = ref [] in
+  let rec sections () =
+    if kw st "states" then begin
+      while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+        let p = here st in
+        let sname = ident st in
+        expect st Token.COLON;
+        let initial = kw st "initial" in
+        expect_kw st "state";
+        expect st Token.SEMI;
+        states := { es_name = sname; es_initial = initial; es_pos = p } :: !states
+      done;
+      sections ()
+    end
+    else if kw st "events" then begin
+      while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+        let p = here st in
+        let ename = ident st in
+        expect st Token.COLON;
+        expect_kw st "occurrence";
+        expect_kw st "poisson";
+        let rate = number st in
+        expect st Token.SEMI;
+        events := { ee_name = ename; ee_rate = rate; ee_pos = p } :: !events
+      done;
+      sections ()
+    end
+    else if kw st "propagations" then begin
+      while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+        let p = here st in
+        let pname = ident st in
+        expect st Token.COLON;
+        let dir = parse_dir st in
+        expect_kw st "propagation";
+        expect st Token.SEMI;
+        propagations :=
+          { ep_name = pname; ep_dir = dir; ep_pos = p } :: !propagations
+      done;
+      sections ()
+    end
+    else if kw st "transitions" then begin
+      while (match peek_tok st with Token.IDENT _ -> true | _ -> false) do
+        transitions := parse_error_transition st :: !transitions
+      done;
+      sections ()
+    end
+  in
+  sections ();
+  expect_kw st "end";
+  let name' = ident st in
+  expect st Token.SEMI;
+  if name' <> name then
+    error st "error model %s ends with mismatched name %s" name name';
+  {
+    em_name = name;
+    em_states = List.rev !states;
+    em_events = List.rev !events;
+    em_propagations = List.rev !propagations;
+    em_transitions = List.rev !transitions;
+    em_pos = pos;
+  }
+
+(* --- extensions --- *)
+
+let parse_extension st =
+  let pos = here st in
+  let target = path st in
+  expect_kw st "with";
+  let em = ident st in
+  let injections = ref [] in
+  if kw st "injections" then
+    while at_kw st "inject" do
+      let p = here st in
+      expect_kw st "inject";
+      let state = ident st in
+      expect st Token.COLON;
+      let target = path st in
+      expect st Token.ASSIGN;
+      let value = expr st in
+      expect st Token.SEMI;
+      injections :=
+        { inj_state = state; inj_target = target; inj_value = value; inj_pos = p }
+        :: !injections
+    done;
+  expect_kw st "end";
+  expect_kw st "extend";
+  expect st Token.SEMI;
+  {
+    ex_target = target;
+    ex_error_model = em;
+    ex_injections = List.rev !injections;
+    ex_pos = pos;
+  }
+
+(* --- top level --- *)
+
+let parse_model_tokens st =
+  let decls = ref [] in
+  let root = ref None in
+  let rec go () =
+    match peek_tok st with
+    | Token.EOF -> ()
+    | Token.KW "error" ->
+      advance st;
+      decls := D_error_model (parse_error_model st) :: !decls;
+      go ()
+    | Token.KW "extend" ->
+      advance st;
+      decls := D_extension (parse_extension st) :: !decls;
+      go ()
+    | Token.KW "root" ->
+      advance st;
+      let t = ident st in
+      expect st Token.DOT;
+      let i = ident st in
+      expect st Token.SEMI;
+      if !root <> None then error st "duplicate root directive";
+      root := Some (t, i);
+      go ()
+    | _ -> (
+      match peek_category st with
+      | Some cat ->
+        advance st;
+        if at_kw st "implementation" then
+          decls := D_comp_impl (parse_comp_impl st cat) :: !decls
+        else decls := D_comp_type (parse_comp_type st cat) :: !decls;
+        go ()
+      | None ->
+        error st "expected a declaration but found %s"
+          (Token.to_string (peek_tok st)))
+  in
+  go ();
+  match !root with
+  | None -> error st "missing root directive"
+  | Some root -> { declarations = List.rev !decls; root }
+
+let wrap f src =
+  match Lexer.tokenize src with
+  | exception Lexer.Lex_error (m, l, c) ->
+    Error (Printf.sprintf "lex error at %d:%d: %s" l c m)
+  | toks -> (
+    let st = { toks = Array.of_list toks; pos = 0; allow_mode_atoms = false } in
+    match f st with
+    | v -> Ok v
+    | exception Parse_error (m, l, c) ->
+      Error (Printf.sprintf "parse error at %d:%d: %s" l c m))
+
+let parse_model src = wrap parse_model_tokens src
+
+let parse_expression ?(allow_mode_atoms = false) src =
+  wrap
+    (fun st ->
+      let st = { st with allow_mode_atoms } in
+      let e = expr st in
+      expect st Token.EOF;
+      e)
+    src

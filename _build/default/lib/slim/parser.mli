@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the SLIM dialect (grammar in
+    [docs/LANGUAGE.md]). *)
+
+val parse_model : string -> (Ast.model, string) result
+(** Parse a complete model file: declarations plus a [root T.Impl;]
+    directive. *)
+
+val parse_expression :
+  ?allow_mode_atoms:bool -> string -> (Ast.expr, string) result
+(** Parse a standalone expression.  [allow_mode_atoms] additionally
+    enables the property-only atom [path in mode m]. *)

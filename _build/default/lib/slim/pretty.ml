@@ -1,0 +1,230 @@
+open Ast
+
+let binop_prec = function
+  | B_implies -> 1
+  | B_or -> 2
+  | B_and -> 3
+  | B_eq | B_neq | B_lt | B_le | B_gt | B_ge -> 4
+  | B_add | B_sub -> 5
+  | B_mul | B_div | B_mod -> 6
+  | B_min | B_max -> 9
+
+let binop_str = function
+  | B_add -> "+" | B_sub -> "-" | B_mul -> "*" | B_div -> "/" | B_mod -> "mod"
+  | B_and -> "and" | B_or -> "or" | B_implies -> "=>"
+  | B_eq -> "=" | B_neq -> "!=" | B_lt -> "<" | B_le -> "<=" | B_gt -> ">"
+  | B_ge -> ">=" | B_min -> "min" | B_max -> "max"
+
+(* Conservative parenthesisation: parenthesise any operand that is itself
+   a binary operation of not-strictly-higher precedence. *)
+let rec pp_prec prec ppf e =
+  match e with
+  | E_bool b -> Fmt.bool ppf b
+  | E_int n -> if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.int ppf n
+  | E_real x ->
+    let s = Printf.sprintf "%.17g" x in
+    let s = if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s else s ^ ".0" in
+    if x < 0.0 then Fmt.pf ppf "(%s)" s else Fmt.string ppf s
+  | E_path p -> Fmt.string ppf (path_to_string p)
+  | E_in_mode (p, m) -> Fmt.pf ppf "%s in mode %s" (path_to_string p) m
+  | E_unop (U_not, e1) ->
+    (* 'not' binds between 'and' and the comparisons in the grammar, so
+       as an operand of anything tighter it needs parentheses *)
+    let body ppf () = Fmt.pf ppf "not %a" (pp_prec 7) e1 in
+    if prec > 4 then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | E_unop (U_neg, e1) ->
+    (* Parenthesised so that a nested negation never prints "--", which
+       would lex as a comment. *)
+    Fmt.pf ppf "-(%a)" (pp_prec 0) e1
+  | E_binop ((B_min | B_max) as op, e1, e2) ->
+    Fmt.pf ppf "%s(%a, %a)" (binop_str op) (pp_prec 0) e1 (pp_prec 0) e2
+  | E_binop (op, e1, e2) ->
+    let p = binop_prec op in
+    (* associativity dictates which operand may reuse the parent's
+       precedence level unparenthesized *)
+    let lp, rp =
+      match op with
+      | B_implies -> (p + 1, p) (* right-associative *)
+      | B_eq | B_neq | B_lt | B_le | B_gt | B_ge -> (p + 1, p + 1) (* non-assoc *)
+      | B_add | B_sub | B_mul | B_div | B_mod | B_and | B_or | B_min | B_max ->
+        (p, p + 1) (* left-associative *)
+    in
+    let body ppf () =
+      Fmt.pf ppf "%a %s %a" (pp_prec lp) e1 (binop_str op) (pp_prec rp) e2
+    in
+    if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+let pp_expr ppf e = pp_prec 0 ppf e
+
+let pp_ty ppf ty = Fmt.string ppf (ty_to_string ty)
+
+let pp_feature ppf f =
+  let dir = match f.f_dir with In -> "in" | Out -> "out" in
+  match f.f_kind with
+  | P_event -> Fmt.pf ppf "  %s: %s event port;" f.f_name dir
+  | P_data (ty, None) -> Fmt.pf ppf "  %s: %s data port %a;" f.f_name dir pp_ty ty
+  | P_data (ty, Some e) ->
+    Fmt.pf ppf "  %s: %s data port %a := %a;" f.f_name dir pp_ty ty pp_expr e
+
+let pp_comp_type ppf ct =
+  Fmt.pf ppf "%s %s@." (category_to_string ct.ct_category) ct.ct_name;
+  if ct.ct_features <> [] then begin
+    Fmt.pf ppf "features@.";
+    List.iter (fun f -> Fmt.pf ppf "%a@." pp_feature f) ct.ct_features
+  end;
+  Fmt.pf ppf "end %s;@." ct.ct_name
+
+let pp_subcomp ppf = function
+  | Sub_data { sd_name; sd_ty; sd_init; _ } -> (
+    match sd_init with
+    | None -> Fmt.pf ppf "  %s: data %a;" sd_name pp_ty sd_ty
+    | Some e -> Fmt.pf ppf "  %s: data %a := %a;" sd_name pp_ty sd_ty pp_expr e)
+  | Sub_comp { sc_name; sc_category; sc_impl = t, i; sc_in_modes; sc_restart; _ }
+    ->
+    Fmt.pf ppf "  %s: %s %s.%s%s%s;" sc_name (category_to_string sc_category) t i
+      (match sc_in_modes with
+      | [] -> ""
+      | ms -> " in modes (" ^ String.concat ", " ms ^ ")")
+      (if sc_restart then " restart" else "")
+
+let pp_connection ppf cn =
+  Fmt.pf ppf "  %s -> %s;" (path_to_string cn.cn_src) (path_to_string cn.cn_dst)
+
+let pp_mode ppf m =
+  Fmt.pf ppf "  %s:%s mode%s%s;" m.m_name
+    (if m.m_initial then " initial" else "")
+    (match m.m_invariant with
+    | None -> ""
+    | Some e -> " while " ^ Fmt.str "%a" pp_expr e)
+    (match m.m_derivs with
+    | [] -> ""
+    | ds ->
+      " der "
+      ^ String.concat ", "
+          (List.map (fun (v, x) -> Printf.sprintf "%s = %.17g" v x) ds))
+
+let pp_effect ppf = function
+  | Eff_assign (p, e) -> Fmt.pf ppf "%s := %a" (path_to_string p) pp_expr e
+  | Eff_reset p -> Fmt.pf ppf "reset %s" (path_to_string p)
+
+let pp_transition ppf t =
+  let trigger =
+    match t.t_trigger with
+    | Trig_none -> ""
+    | Trig_event p -> path_to_string p
+    | Trig_rate r -> Printf.sprintf "rate %.17g" r
+  in
+  let guard =
+    match t.t_guard with
+    | None -> ""
+    | Some e -> (if trigger = "" then "when " else " when ") ^ Fmt.str "%a" pp_expr e
+  in
+  let effects =
+    match t.t_effects with
+    | [] -> ""
+    | es ->
+      let sep = if trigger = "" && guard = "" then "then " else " then " in
+      sep ^ String.concat "; " (List.map (Fmt.str "%a" pp_effect) es)
+  in
+  Fmt.pf ppf "  %s -[%s%s%s]-> %s;" t.t_src trigger guard effects t.t_dst
+
+let pp_comp_impl ppf ci =
+  Fmt.pf ppf "%s implementation %s.%s@."
+    (category_to_string ci.ci_category)
+    ci.ci_type ci.ci_name;
+  if ci.ci_subcomps <> [] then begin
+    Fmt.pf ppf "subcomponents@.";
+    List.iter (fun s -> Fmt.pf ppf "%a@." pp_subcomp s) ci.ci_subcomps
+  end;
+  if ci.ci_connections <> [] then begin
+    Fmt.pf ppf "connections@.";
+    List.iter (fun c -> Fmt.pf ppf "%a@." pp_connection c) ci.ci_connections
+  end;
+  if ci.ci_flows <> [] then begin
+    Fmt.pf ppf "flows@.";
+    List.iter
+      (fun (fl : Ast.flow) ->
+        Fmt.pf ppf "  %s := %a;@." fl.fl_target pp_expr fl.fl_expr)
+      ci.ci_flows
+  end;
+  if ci.ci_modes <> [] then begin
+    Fmt.pf ppf "modes@.";
+    List.iter (fun m -> Fmt.pf ppf "%a@." pp_mode m) ci.ci_modes
+  end;
+  if ci.ci_transitions <> [] then begin
+    Fmt.pf ppf "transitions@.";
+    List.iter (fun t -> Fmt.pf ppf "%a@." pp_transition t) ci.ci_transitions
+  end;
+  Fmt.pf ppf "end %s.%s;@." ci.ci_type ci.ci_name
+
+let pp_error_model ppf em =
+  Fmt.pf ppf "error model %s@." em.em_name;
+  if em.em_states <> [] then begin
+    Fmt.pf ppf "states@.";
+    List.iter
+      (fun s ->
+        Fmt.pf ppf "  %s:%s state;@." s.es_name
+          (if s.es_initial then " initial" else ""))
+      em.em_states
+  end;
+  if em.em_events <> [] then begin
+    Fmt.pf ppf "events@.";
+    List.iter
+      (fun e -> Fmt.pf ppf "  %s: occurrence poisson %.17g;@." e.ee_name e.ee_rate)
+      em.em_events
+  end;
+  if em.em_propagations <> [] then begin
+    Fmt.pf ppf "propagations@.";
+    List.iter
+      (fun p ->
+        Fmt.pf ppf "  %s: %s propagation;@." p.ep_name
+          (match p.ep_dir with In -> "in" | Out -> "out"))
+      em.em_propagations
+  end;
+  if em.em_transitions <> [] then begin
+    Fmt.pf ppf "transitions@.";
+    List.iter
+      (fun t ->
+        let trig =
+          match t.et_trigger with
+          | Etrig_event e -> e
+          | Etrig_activation -> "@activation"
+          | Etrig_within (None, a, b) -> Printf.sprintf "within %.17g .. %.17g" a b
+          | Etrig_within (Some n, a, b) ->
+            Printf.sprintf "%s within %.17g .. %.17g" n a b
+        in
+        Fmt.pf ppf "  %s -[%s]-> %s;@." t.et_src trig t.et_dst)
+      em.em_transitions
+  end;
+  Fmt.pf ppf "end %s;@." em.em_name
+
+let pp_extension ppf ex =
+  Fmt.pf ppf "extend %s with %s@."
+    (path_to_string ex.ex_target)
+    ex.ex_error_model;
+  if ex.ex_injections <> [] then begin
+    Fmt.pf ppf "injections@.";
+    List.iter
+      (fun i ->
+        Fmt.pf ppf "  inject %s: %s := %a;@." i.inj_state
+          (path_to_string i.inj_target)
+          pp_expr i.inj_value)
+      ex.ex_injections
+  end;
+  Fmt.pf ppf "end extend;@."
+
+let pp_model ppf m =
+  List.iter
+    (fun d ->
+      (match d with
+      | D_comp_type ct -> pp_comp_type ppf ct
+      | D_comp_impl ci -> pp_comp_impl ppf ci
+      | D_error_model em -> pp_error_model ppf em
+      | D_extension ex -> pp_extension ppf ex);
+      Fmt.pf ppf "@.")
+    m.declarations;
+  let t, i = m.root in
+  Fmt.pf ppf "root %s.%s;@." t i
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let model_to_string m = Fmt.str "%a" pp_model m

@@ -1,0 +1,8 @@
+(** Pretty-printer back to concrete SLIM syntax.  [Parser.parse_model]
+    of the printed text yields the same AST (round-trip property, tested
+    with qcheck). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_model : Format.formatter -> Ast.model -> unit
+val expr_to_string : Ast.expr -> string
+val model_to_string : Ast.model -> string

@@ -1,0 +1,30 @@
+(** Semantic analysis of a parsed SLIM model: name resolution tables,
+    uniqueness and reference checks, light type checking of expressions,
+    the paper's well-formedness conditions for stochastic semantics
+    (§II-E: a mode may not mix internal guarded and rate transitions, a
+    mode with rate transitions has no invariant), and containment
+    recursion detection (the COMPASS validation step mentioned in
+    §II-F). *)
+
+type error = { msg : string; pos : Ast.pos }
+
+type tables = {
+  comp_types : (string, Ast.comp_type) Hashtbl.t;
+  comp_impls : (string * string, Ast.comp_impl) Hashtbl.t;
+  error_models : (string, Ast.error_model) Hashtbl.t;
+  extensions : Ast.extension list;
+  root_impl : Ast.comp_impl;
+}
+
+val analyze : Ast.model -> (tables, error list) result
+
+val find_feature : Ast.comp_type -> string -> Ast.feature option
+
+type ety = Ty_bool | Ty_int | Ty_real
+(** Erased expression types: ranges erase to [Ty_int], clocks and
+    continuous variables to [Ty_real]. *)
+
+val ety_of_ty : Ast.ty -> ety
+
+val pp_error : Format.formatter -> error -> unit
+val errors_to_string : error list -> string

@@ -1,0 +1,50 @@
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW of string
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COLON | SEMI | COMMA | DOT | DOTDOT
+  | ASSIGN
+  | ARROW
+  | MINUS | PLUS | STAR | SLASH
+  | EQ | NEQ | LT | LE | GT | GE
+  | IMPLIES
+  | AT
+  | EOF
+
+let keywords =
+  [
+    "system"; "device"; "process"; "thread"; "processor"; "bus"; "abstract";
+    "implementation"; "features"; "subcomponents"; "connections"; "modes";
+    "transitions"; "flows"; "end"; "in"; "out"; "event"; "data"; "port"; "mode";
+    "initial"; "while"; "der"; "when"; "then"; "rate"; "reset"; "bool";
+    "int"; "real"; "clock"; "continuous"; "true"; "false"; "and"; "or";
+    "not"; "mod"; "min"; "max"; "error"; "model"; "states"; "state";
+    "events"; "occurrence"; "poisson"; "propagations"; "propagation";
+    "within"; "extend"; "with"; "injections"; "inject"; "activation";
+    "root"; "restart";
+  ]
+
+let keyword_set = List.sort_uniq compare keywords
+
+let is_keyword s = List.mem s keyword_set
+
+let to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | FLOAT x -> string_of_float x
+  | KW s -> s
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COLON -> ":" | SEMI -> ";" | COMMA -> "," | DOT -> "." | DOTDOT -> ".."
+  | ASSIGN -> ":="
+  | ARROW -> "->"
+  | MINUS -> "-" | PLUS -> "+" | STAR -> "*" | SLASH -> "/"
+  | EQ -> "=" | NEQ -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | IMPLIES -> "=>"
+  | AT -> "@"
+  | EOF -> "<eof>"
+
+type located = { tok : t; line : int; col : int }

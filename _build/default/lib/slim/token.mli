@@ -1,0 +1,25 @@
+(** Tokens of the SLIM dialect (see [docs/LANGUAGE.md] for the grammar). *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW of string  (** keywords are stored lowercased *)
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COLON | SEMI | COMMA | DOT | DOTDOT
+  | ASSIGN  (** [:=] *)
+  | ARROW  (** [->] *)
+  | MINUS | PLUS | STAR | SLASH
+  | EQ | NEQ | LT | LE | GT | GE
+  | IMPLIES  (** [=>] *)
+  | AT  (** [@], for [@activation] *)
+  | EOF
+
+val keywords : string list
+(** Reserved words; identifiers never collide with them. *)
+
+val is_keyword : string -> bool
+val to_string : t -> string
+
+type located = { tok : t; line : int; col : int }

@@ -1,0 +1,32 @@
+(** Translation of an instantiated, extended SLIM model into a network of
+    stochastic timed automata — the event-data network of §III-A.
+
+    The translation realizes:
+    - one process per component instance that declares modes;
+    - one process per error-model extension (model extension, §II-D),
+      with [occurrence poisson] events as rate transitions, [within]
+      windows as an implicit clock reset on every discrete transition of
+      the error automaton, plus guard and location invariant;
+    - event-port connections as multiway synchronization groups (computed
+      by union-find over connection endpoints);
+    - data-port connections as data flows, re-routed through fault
+      injections: consumers of an injected output port read an observed
+      variable [port#inj] computed as a case split over the error
+      automaton's state;
+    - [reset s] effects as synchronization events that return the whole
+      subtree of [s] (nominal and error processes) to its initial
+      configuration — the error automata's [@activation] transitions
+      ride on these events;
+    - [in modes (...)] subcomponent clauses as activation conditions
+      (dynamic reconfiguration), with [restart] selecting restart-on-
+      reactivation. *)
+
+val translate : Sema.tables -> (Slimsim_sta.Network.t, string) result
+
+val resolve_property :
+  Slimsim_sta.Network.t -> Ast.expr -> (Slimsim_sta.Expr.t, string) result
+(** Resolve a property expression against the translated network: dotted
+    paths name variables from the root (preferring the observed
+    [#inj] view of injected ports), and [path in mode m] resolves
+    against the instance's nominal process or one of its error
+    automata. *)

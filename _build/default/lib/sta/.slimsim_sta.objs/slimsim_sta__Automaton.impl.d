@@ -1,0 +1,1 @@
+lib/sta/automaton.ml: Array Expr Fmt Format List

@@ -1,0 +1,1 @@
+lib/sta/automaton.mli: Expr Format

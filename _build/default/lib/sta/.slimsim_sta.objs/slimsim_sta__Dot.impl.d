@@ -1,0 +1,1 @@
+lib/sta/dot.ml: Array Automaton Buffer Expr List Network Printf String

@@ -1,0 +1,1 @@
+lib/sta/dot.mli: Network

@@ -1,0 +1,1 @@
+lib/sta/expr.ml: Fmt List Value

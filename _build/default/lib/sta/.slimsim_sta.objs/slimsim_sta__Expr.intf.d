@@ -1,0 +1,1 @@
+lib/sta/expr.mli: Format Value

@@ -1,0 +1,1 @@
+lib/sta/linear.ml: Expr Format Slimsim_intervals Value

@@ -1,0 +1,1 @@
+lib/sta/linear.mli: Expr Slimsim_intervals Value

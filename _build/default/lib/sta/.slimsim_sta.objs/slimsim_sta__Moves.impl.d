@@ -1,0 +1,1 @@
+lib/sta/moves.ml: Array Automaton Fmt Linear List Network Slimsim_intervals State String

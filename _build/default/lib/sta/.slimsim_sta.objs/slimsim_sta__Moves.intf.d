@@ -1,0 +1,1 @@
+lib/sta/moves.mli: Network Slimsim_intervals State

@@ -1,0 +1,1 @@
+lib/sta/network.ml: Array Automaton Expr Fmt Format Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/sta/network.mli: Automaton Expr Format Value

@@ -1,0 +1,1 @@
+lib/sta/state.ml: Array Automaton Expr Fmt List Network Value

@@ -1,0 +1,1 @@
+lib/sta/state.mli: Expr Format Network Value

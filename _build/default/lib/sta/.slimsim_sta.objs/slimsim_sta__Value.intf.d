@@ -1,0 +1,1 @@
+lib/sta/value.mli: Format

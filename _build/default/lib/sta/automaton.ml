@@ -1,0 +1,103 @@
+type label = Tau | Event of int
+
+type guard = Guard of Expr.t | Rate of float
+
+type transition = {
+  src : int;
+  dst : int;
+  label : label;
+  guard : guard;
+  updates : (int * Expr.t) list;
+  weight : float;
+}
+
+type location = {
+  loc_name : string;
+  invariant : Expr.t;
+  derivs : (int * float) list;
+}
+
+type t = {
+  proc_name : string;
+  locations : location array;
+  initial_loc : int;
+  transitions : transition array;
+  outgoing : int list array;
+  alphabet : int list;
+}
+
+exception Invalid_process of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_process s)) fmt
+
+let make ~name ~locations ~initial ~transitions =
+  let n_locs = Array.length locations in
+  if n_locs = 0 then invalid "%s: a process needs at least one location" name;
+  if initial < 0 || initial >= n_locs then
+    invalid "%s: initial location out of range" name;
+  let transitions = Array.of_list transitions in
+  let outgoing = Array.make n_locs [] in
+  Array.iteri
+    (fun i tr ->
+      if tr.src < 0 || tr.src >= n_locs || tr.dst < 0 || tr.dst >= n_locs then
+        invalid "%s: transition %d has a location out of range" name i;
+      (match tr.guard, tr.label with
+      | Rate r, Tau ->
+        if r <= 0.0 then invalid "%s: transition %d has non-positive rate" name i
+      | Rate _, Event _ ->
+        invalid "%s: transition %d: exponential delays only on internal actions"
+          name i
+      | Guard _, _ -> ());
+      outgoing.(tr.src) <- i :: outgoing.(tr.src))
+    transitions;
+  Array.iteri (fun l trs -> outgoing.(l) <- List.rev trs) outgoing;
+  (* The paper's exclusivity condition: no location mixes guards and
+     rates, and Markovian locations carry a trivial invariant. *)
+  Array.iteri
+    (fun l trs ->
+      let has_rate =
+        List.exists (fun i -> match transitions.(i).guard with Rate _ -> true | Guard _ -> false) trs
+      and has_internal_guard =
+        (* Event-labelled guarded transitions are passive receptions
+           (woven resets/propagations) and may coexist with rates; the
+           exclusivity condition of §II-E concerns internal choice. *)
+        List.exists
+          (fun i ->
+            match transitions.(i).guard, transitions.(i).label with
+            | Guard _, Tau -> true
+            | Guard _, Event _ | Rate _, _ -> false)
+          trs
+      in
+      if has_rate && has_internal_guard then
+        invalid "%s: location %s mixes internal guarded and rate transitions" name
+          locations.(l).loc_name;
+      if has_rate && locations.(l).invariant <> Expr.true_ then
+        invalid "%s: location %s has rate transitions but a non-trivial invariant"
+          name locations.(l).loc_name)
+    outgoing;
+  let alphabet =
+    Array.to_list transitions
+    |> List.filter_map (fun tr ->
+           match tr.label with Event e -> Some e | Tau -> None)
+    |> List.sort_uniq compare
+  in
+  { proc_name = name; locations; initial_loc = initial; transitions; outgoing; alphabet }
+
+let find_loc t name =
+  let rec go i =
+    if i >= Array.length t.locations then None
+    else if t.locations.(i).loc_name = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let is_markovian_loc t l =
+  List.exists
+    (fun i -> match t.transitions.(i).guard with Rate _ -> true | Guard _ -> false)
+    t.outgoing.(l)
+
+let pp ppf t =
+  Fmt.pf ppf "process %s: %d locations, %d transitions, initial %s" t.proc_name
+    (Array.length t.locations)
+    (Array.length t.transitions)
+    t.locations.(t.initial_loc).loc_name

@@ -1,0 +1,56 @@
+(** A single process of a specification (§II-E): finite locations with
+    invariants and constant derivatives, plus discrete transitions that
+    carry either a Boolean guard or an exponential exit rate. *)
+
+type label =
+  | Tau  (** internal; never synchronizes *)
+  | Event of int  (** index into the network's event table *)
+
+type guard =
+  | Guard of Expr.t
+  | Rate of float  (** exponential delay; only on [Tau] transitions *)
+
+type transition = {
+  src : int;
+  dst : int;
+  label : label;
+  guard : guard;
+  updates : (int * Expr.t) list;
+      (** applied left-to-right; each sees earlier writes *)
+  weight : float;  (** relative weight for equiprobable resolution; 1.0 *)
+}
+
+type location = {
+  loc_name : string;
+  invariant : Expr.t;
+  derivs : (int * float) list;
+      (** derivative overrides for continuous variables in this location;
+          clocks default to rate 1, continuous variables to rate 0 *)
+}
+
+type t = private {
+  proc_name : string;
+  locations : location array;
+  initial_loc : int;
+  transitions : transition array;
+  outgoing : int list array;  (** transition indices per source location *)
+  alphabet : int list;  (** sorted event indices occurring on transitions *)
+}
+
+exception Invalid_process of string
+
+val make :
+  name:string ->
+  locations:location array ->
+  initial:int ->
+  transitions:transition list ->
+  t
+(** Validates the paper's well-formedness conditions: a location may not
+    mix [Rate] and [Guard] transitions among its outgoing edges, a
+    location with [Rate] transitions must have invariant [true], [Rate]
+    is only allowed on [Tau] labels, rates are positive, and all
+    location indices are in range.  Raises [Invalid_process]. *)
+
+val find_loc : t -> string -> int option
+val is_markovian_loc : t -> int -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let var_names (net : Network.t) v = net.vars.(v).var_name
+
+let automaton (net : Network.t) p =
+  let proc = net.procs.(p) in
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "digraph %S {\n  rankdir=LR;\n  node [shape=ellipse];\n"
+    proc.Automaton.proc_name;
+  Array.iteri
+    (fun l (loc : Automaton.location) ->
+      let inv =
+        if loc.invariant = Expr.true_ then ""
+        else "\\n" ^ escape (Expr.to_string ~names:(var_names net) loc.invariant)
+      in
+      pf "  l%d [label=\"%s%s\"%s];\n" l (escape loc.loc_name) inv
+        (if l = proc.Automaton.initial_loc then " style=bold" else ""))
+    proc.Automaton.locations;
+  pf "  init [shape=point];\n  init -> l%d;\n" proc.Automaton.initial_loc;
+  Array.iter
+    (fun (tr : Automaton.transition) ->
+      let label =
+        match tr.guard with
+        | Automaton.Rate r -> Printf.sprintf "rate %g" r
+        | Automaton.Guard g -> (
+          let base =
+            match tr.label with
+            | Automaton.Tau -> ""
+            | Automaton.Event e -> escape net.events.(e)
+          in
+          if g = Expr.true_ then base
+          else
+            (if base = "" then "" else base ^ "\\n")
+            ^ escape (Expr.to_string ~names:(var_names net) g))
+      in
+      let updates =
+        String.concat "; "
+          (List.map
+             (fun (v, e) ->
+               Printf.sprintf "%s := %s" (var_names net v)
+                 (Expr.to_string ~names:(var_names net) e))
+             tr.updates)
+      in
+      let label =
+        if updates = "" then label
+        else if label = "" then escape updates
+        else label ^ "\\n/ " ^ escape updates
+      in
+      pf "  l%d -> l%d [label=\"%s\"];\n" tr.src tr.dst label)
+    proc.Automaton.transitions;
+  pf "}\n";
+  Buffer.contents b
+
+let network (net : Network.t) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "digraph network {\n  node [shape=box];\n";
+  Array.iteri
+    (fun p (proc : Automaton.t) ->
+      pf "  p%d [label=\"%s\\n%d locations\"];\n" p (escape proc.proc_name)
+        (Array.length proc.locations))
+    net.procs;
+  (* synchronization edges *)
+  Array.iteri
+    (fun e parts ->
+      match parts with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        List.iter
+          (fun p ->
+            pf "  p%d -> p%d [label=\"%s\" dir=none style=dashed];\n" first p
+              (escape net.events.(e)))
+          rest)
+    net.participants;
+  (* data-flow edges: a flow whose target is owned by one process and
+     reads a variable owned by another *)
+  Array.iter
+    (fun (f : Network.flow) ->
+      match net.vars.(f.target).owner with
+      | None -> ()
+      | Some dst ->
+        List.iter
+          (fun v ->
+            match net.vars.(v).owner with
+            | Some src when src <> dst ->
+              pf "  p%d -> p%d [color=gray];\n" src dst
+            | _ -> ())
+          (Expr.free_vars f.expr))
+    net.flows;
+  pf "}\n";
+  Buffer.contents b

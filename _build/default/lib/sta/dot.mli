@@ -1,0 +1,11 @@
+(** Graphviz export of processes and networks, in the style of the
+    paper's Figure 2 (locations with invariants as nodes, transitions
+    with guards/rates as edges). *)
+
+val automaton : Network.t -> int -> string
+(** Dot source for one process of the network. *)
+
+val network : Network.t -> string
+(** Dot source for the network overview: one node per process, one edge
+    per shared event connecting its participants, plus data-flow edges
+    between processes whose variables feed each other's flows. *)

@@ -1,0 +1,33 @@
+(** Symbolic evaluation of expressions as functions of a delay [d].
+
+    In a location with constant derivatives, a continuous variable [v]
+    evolves as [v + rate(v)·d], so every numeric subexpression of a
+    (linear-hybrid) guard is an affine function [a + b·d] and every
+    Boolean expression denotes a finite union of intervals of delays.
+    Non-linear combinations (products of two delay-dependent terms,
+    [mod]/[min]/[max] of delay-dependent terms, delay-dependent [if]
+    conditions under numeric context) raise [Nonlinear]; the SLIM
+    front-end restricts models to the linear fragment, this is the
+    backstop. *)
+
+exception Nonlinear of string
+
+type lin = { a : float; b : float }  (** the affine function [a + b·d] *)
+
+val eval_num :
+  env:(int -> Value.t) ->
+  rate:(int -> float) ->
+  at_loc:(int -> int -> bool) ->
+  Expr.t ->
+  lin
+(** Affine form of a numeric expression.  Raises [Value.Type_error] on a
+    Boolean result, [Nonlinear] outside the affine fragment. *)
+
+val sat_set :
+  env:(int -> Value.t) ->
+  rate:(int -> float) ->
+  at_loc:(int -> int -> bool) ->
+  Expr.t ->
+  Slimsim_intervals.Interval_set.t
+(** [{d | expr holds after delaying d}] — over all of ℝ; callers
+    intersect with [[0, +inf)]. *)

@@ -1,0 +1,31 @@
+(** Runtime values of SLIM data components: Booleans, (bounded) integers
+    and reals.  Clocks and continuous variables hold [Real] values. *)
+
+type t = Bool of bool | Int of int | Real of float
+
+exception Type_error of string
+
+val equal : t -> t -> bool
+val compare_num : t -> t -> int
+(** Numeric comparison with [Int]/[Real] promotion; [Type_error] on
+    Booleans mixed with numbers. *)
+
+val as_bool : t -> bool
+val as_float : t -> float
+(** Numeric coercion: [Int n -> float n]; [Type_error] on [Bool]. *)
+
+val is_numeric : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic with promotion; [Int / Int] is integer division (SLIM
+    integer semantics); [Type_error] on Booleans. *)
+
+val modulo : t -> t -> t
+val neg : t -> t
+val min_v : t -> t -> t
+val max_v : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/stats/bound.ml: Array

@@ -1,0 +1,1 @@
+lib/stats/estimator.ml: Bound Float Fmt

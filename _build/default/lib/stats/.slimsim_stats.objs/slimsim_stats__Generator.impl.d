@@ -1,0 +1,1 @@
+lib/stats/generator.ml: Bound Estimator Float Printf

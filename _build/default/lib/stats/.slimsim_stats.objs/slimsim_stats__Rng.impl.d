@@ -1,0 +1,1 @@
+lib/stats/rng.ml: Int64

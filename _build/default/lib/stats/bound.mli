@@ -1,0 +1,31 @@
+(** A-priori sample-count bounds for quantitative estimation (§II-B).
+
+    The Chernoff–Hoeffding bound guarantees
+    [P(|estimate - p| <= eps) >= 1 - delta] after [N] i.i.d. Bernoulli
+    samples.  The paper states the (conservative) form
+    [N = 4 ln(2/delta) / eps^2]; the tight Hoeffding form is
+    [N = ln(2/delta) / (2 eps^2)].  Both are provided; the engine
+    defaults to the paper's form so run lengths are comparable. *)
+
+val chernoff_samples : delta:float -> eps:float -> int
+(** Paper's bound: [ceil (4 ln(2/delta) / eps^2)].
+    Requires [0 < delta < 1] and [eps > 0]. *)
+
+val hoeffding_samples : delta:float -> eps:float -> int
+(** Tight bound: [ceil (ln(2/delta) / (2 eps^2))]. *)
+
+val hoeffding_eps : delta:float -> n:int -> float
+(** Error bound achieved by [n] samples at confidence [1 - delta]:
+    [sqrt (ln(2/delta) / (2 n))]. *)
+
+val hoeffding_delta : eps:float -> n:int -> float
+(** Confidence parameter achieved by [n] samples at error [eps]:
+    [2 exp (-2 n eps^2)]. *)
+
+val normal_quantile : float -> float
+(** [normal_quantile p]: inverse standard-normal CDF (Acklam's
+    approximation, |relative error| < 1.15e-9); requires [0 < p < 1]. *)
+
+val gauss_samples : delta:float -> eps:float -> int
+(** CLT-based ("Gauss", §III-A) fixed sample count using the worst-case
+    Bernoulli variance 1/4: [ceil ((z_{1-delta/2} / (2 eps))^2)]. *)

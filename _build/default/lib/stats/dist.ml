@@ -1,0 +1,33 @@
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
+  (* 1 - u in (0,1] avoids log 0. *)
+  -.log (1.0 -. Rng.float rng) /. rate
+
+let bernoulli rng ~p = Rng.float rng < p
+
+let categorical rng ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Dist.categorical: total weight must be positive";
+  let r = Rng.below rng total in
+  let n = Array.length weights in
+  let rec pick i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if r < acc then i else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+let uniform_choice rng xs =
+  match xs with
+  | [] -> invalid_arg "Dist.uniform_choice: empty list"
+  | [ x ] -> x
+  | _ -> List.nth xs (Rng.int rng (List.length xs))
+
+let exponential_race rng ~rates =
+  let total = Array.fold_left ( +. ) 0.0 rates in
+  if total <= 0.0 then None
+  else
+    let t = exponential rng ~rate:total in
+    let i = categorical rng ~weights:rates in
+    Some (i, t)

@@ -1,0 +1,20 @@
+(** Samplers for the distributions used by the simulator. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Draw from Exp(rate); requires [rate > 0]. *)
+
+val bernoulli : Rng.t -> p:float -> bool
+
+val categorical : Rng.t -> weights:float array -> int
+(** Index drawn with probability proportional to its (non-negative)
+    weight; requires a positive total weight. *)
+
+val uniform_choice : Rng.t -> 'a list -> 'a
+(** Equiprobable pick from a non-empty list — the paper's resolution of
+    underspecified discrete choice (§III-B). *)
+
+val exponential_race : Rng.t -> rates:float array -> (int * float) option
+(** Winner of a race between independent exponentials: samples the
+    holding time [Exp(sum rates)] and picks entry [i] with probability
+    [rates.(i) / sum].  [None] when every rate is zero or the array is
+    empty. *)

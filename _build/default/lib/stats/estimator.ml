@@ -1,0 +1,23 @@
+type t = { mutable n : int; mutable a : int }
+
+let create () = { n = 0; a = 0 }
+
+let add t outcome =
+  t.n <- t.n + 1;
+  if outcome then t.a <- t.a + 1
+
+let trials t = t.n
+let successes t = t.a
+
+let mean t = if t.n = 0 then 0.0 else float_of_int t.a /. float_of_int t.n
+
+let confidence_interval t ~delta =
+  if t.n = 0 then (0.0, 1.0)
+  else
+    let eps = Bound.hoeffding_eps ~delta ~n:t.n in
+    let m = mean t in
+    (Float.max 0.0 (m -. eps), Float.min 1.0 (m +. eps))
+
+let merge t1 t2 = { n = t1.n + t2.n; a = t1.a + t2.a }
+
+let pp ppf t = Fmt.pf ppf "%d/%d (%.6f)" t.a t.n (mean t)

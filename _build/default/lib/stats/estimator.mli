@@ -1,0 +1,19 @@
+(** Running Bernoulli estimator with Hoeffding confidence intervals. *)
+
+type t
+
+val create : unit -> t
+val add : t -> bool -> unit
+val trials : t -> int
+val successes : t -> int
+
+val mean : t -> float
+(** Point estimate [A/N]; 0 when no samples yet. *)
+
+val confidence_interval : t -> delta:float -> float * float
+(** Hoeffding interval [mean ± eps(N, delta)], clipped to [[0,1]]. *)
+
+val merge : t -> t -> t
+(** Combine two independent estimators (for per-worker aggregation). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type kind = Chernoff | Hoeffding | Gauss | Chow_robbins
+
+type t = {
+  kind : kind;
+  delta : float;
+  eps : float;
+  est : Estimator.t;
+  planned : int option;
+  z : float;  (* normal quantile, used by Chow-Robbins *)
+}
+
+let min_sequential_samples = 100
+(* Below this the CLT interval is meaningless; standard guard for
+   Chow-Robbins style stopping rules. *)
+
+let create kind ~delta ~eps =
+  let planned =
+    match kind with
+    | Chernoff -> Some (Bound.chernoff_samples ~delta ~eps)
+    | Hoeffding -> Some (Bound.hoeffding_samples ~delta ~eps)
+    | Gauss -> Some (Bound.gauss_samples ~delta ~eps)
+    | Chow_robbins -> None
+  in
+  {
+    kind;
+    delta;
+    eps;
+    est = Estimator.create ();
+    planned;
+    z = Bound.normal_quantile (1.0 -. (delta /. 2.0));
+  }
+
+let planned_samples t = t.planned
+
+let feed t outcome = Estimator.add t.est outcome
+
+let needs_more t =
+  match t.planned with
+  | Some n -> Estimator.trials t.est < n
+  | None ->
+    let n = Estimator.trials t.est in
+    if n < min_sequential_samples then true
+    else
+      let fn = float_of_int n in
+      let m = Estimator.mean t.est in
+      (* Sample variance of a Bernoulli, with a floor so the rule cannot
+         stop spuriously on an all-equal prefix. *)
+      let var = Float.max (m *. (1.0 -. m)) (1.0 /. fn) in
+      let half_width = t.z *. sqrt (var /. fn) in
+      half_width > t.eps
+
+let estimator t = t.est
+let delta t = t.delta
+let eps t = t.eps
+
+let kind_to_string = function
+  | Chernoff -> "chernoff"
+  | Hoeffding -> "hoeffding"
+  | Gauss -> "gauss"
+  | Chow_robbins -> "chow-robbins"
+
+let kind_of_string = function
+  | "chernoff" -> Ok Chernoff
+  | "hoeffding" -> Ok Hoeffding
+  | "gauss" -> Ok Gauss
+  | "chow-robbins" | "chow_robbins" -> Ok Chow_robbins
+  | s -> Error (Printf.sprintf "unknown generator %S" s)

@@ -1,0 +1,35 @@
+(** Statistical "generators" (§III-A): the component that consumes path
+    verdicts and decides whether more simulation is required.
+
+    The paper implements the Chernoff–Hoeffding generator and names
+    Chow–Robbins and Gauss as planned extensions; all three are provided.
+    Sequential generators are exactly why bias-free buffered collection
+    (§III-C, [22]) matters: their stopping decision must see samples in a
+    schedule-independent order. *)
+
+type kind =
+  | Chernoff  (** fixed N from the paper's CH formula *)
+  | Hoeffding  (** fixed N from the tight Hoeffding formula *)
+  | Gauss  (** fixed N from the CLT with worst-case variance *)
+  | Chow_robbins
+      (** sequential: stop once the CLT interval half-width is at most
+          eps (with a small minimum sample count) *)
+
+type t
+
+val create : kind -> delta:float -> eps:float -> t
+
+val planned_samples : t -> int option
+(** [Some n] for fixed-size generators, [None] for sequential ones. *)
+
+val feed : t -> bool -> unit
+(** Record one path verdict. *)
+
+val needs_more : t -> bool
+(** Whether further simulation is required. *)
+
+val estimator : t -> Estimator.t
+val delta : t -> float
+val eps : t -> float
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.add seed golden_gamma) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let for_path ~seed ~path =
+  (* Decorrelate the per-path streams by hashing seed and index together. *)
+  let h = mix (Int64.logxor (mix seed) (Int64.of_int (path + 1))) in
+  create h
+
+let split t = create (bits64 t)
+
+let float t =
+  (* 53 random bits into [0,1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. (float t *. (hi -. lo))
+
+let below t x = float t *. x
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo is fine for the small ranges we use.  Keep 62
+     bits so the value stays non-negative as a 63-bit OCaml int. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  x mod n
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let copy t = { state = t.state }

@@ -1,0 +1,23 @@
+type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let count t = t.n
+let mean t = t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let confidence_interval t ~delta =
+  if t.n = 0 then (neg_infinity, infinity)
+  else
+    let z = Bound.normal_quantile (1.0 -. (delta /. 2.0)) in
+    let half = z *. stddev t /. sqrt (float_of_int t.n) in
+    (t.mean -. half, t.mean +. half)

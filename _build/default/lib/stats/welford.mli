@@ -1,0 +1,17 @@
+(** Welford's online mean/variance, for real-valued (weighted) samples
+    where the Bernoulli machinery does not apply — e.g. the likelihood
+    ratios of importance sampling. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val confidence_interval : t -> delta:float -> float * float
+(** CLT interval [mean ± z_{1-delta/2}·stddev/sqrt n]. *)

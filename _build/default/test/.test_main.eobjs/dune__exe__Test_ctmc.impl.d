@@ -1,0 +1,1 @@
+test/test_ctmc.ml: Alcotest Array Astring_contains List Printf Slimsim_ctmc Slimsim_models Slimsim_slim

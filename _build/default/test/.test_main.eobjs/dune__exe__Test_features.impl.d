@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Astring_contains Float Printf Slimsim_ctmc Slimsim_models Slimsim_sim Slimsim_slim Slimsim_stats Str

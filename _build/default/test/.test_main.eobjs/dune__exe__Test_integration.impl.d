@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float List Printf Result Slimsim Slimsim_models Slimsim_sim

@@ -1,0 +1,1 @@
+test/test_intervals.ml: Alcotest Float List QCheck2 QCheck_alcotest Slimsim_intervals Slimsim_stats

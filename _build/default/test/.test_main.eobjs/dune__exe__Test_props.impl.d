@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest List Printf Result Slimsim_models Slimsim_props Slimsim_slim

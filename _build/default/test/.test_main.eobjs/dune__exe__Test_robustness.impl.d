@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Float Int64 List Printf QCheck2 QCheck_alcotest Result Slimsim Slimsim_ctmc Slimsim_models Slimsim_sim Slimsim_slim Slimsim_stats String

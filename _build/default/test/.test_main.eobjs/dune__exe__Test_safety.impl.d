@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Astring_contains List Option Printf Result Slimsim_models Slimsim_safety Slimsim_slim Slimsim_sta String

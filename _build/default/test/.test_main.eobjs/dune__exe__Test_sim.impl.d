@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Astring_contains Float Int64 List Printf Slimsim_ctmc Slimsim_models Slimsim_sim Slimsim_slim Slimsim_sta Slimsim_stats String

@@ -1,0 +1,1 @@
+test/test_slim.ml: Alcotest Array Ast Astring_contains Instance Lexer List Loader Option Parser Pretty Printf QCheck2 QCheck_alcotest Result Sema Slimsim_models Slimsim_slim Slimsim_sta Token

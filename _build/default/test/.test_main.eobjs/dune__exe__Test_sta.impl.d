@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Automaton Expr Linear List Moves Network Option Slimsim_intervals Slimsim_sta State Value

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Array Astring_contains Automaton Expr List Network Option Slimsim_models Slimsim_sim Slimsim_slim Slimsim_sta Slimsim_stats State Value

@@ -1,0 +1,12 @@
+(* Tiny substring helper for error-message assertions. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec go i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else go (i + 1)
+    in
+    go 0

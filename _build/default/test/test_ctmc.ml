@@ -1,0 +1,390 @@
+(* Tests for the baseline CTMC pipeline: the chain representation,
+   explicit-state exploration, lumping, and uniformization — validated
+   against closed-form Markov chain solutions. *)
+
+module Ctmc = Slimsim_ctmc.Ctmc
+module Explorer = Slimsim_ctmc.Explorer
+module Lumping = Slimsim_ctmc.Lumping
+module Transient = Slimsim_ctmc.Transient
+module Analysis = Slimsim_ctmc.Analysis
+module Loader = Slimsim_slim.Loader
+
+let load src =
+  match Loader.load_string src with
+  | Ok l -> l.Loader.network
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let goal net src =
+  match Loader.parse_goal net src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "goal failed: %s" e
+
+(* --- representation --- *)
+
+let test_ctmc_make () =
+  let c =
+    Ctmc.make ~n_states:3
+      ~initial:[ (0, 1.0) ]
+      ~transitions:[ (0, 1, 2.0); (0, 1, 3.0); (1, 2, 1.0) ]
+      ~goal:[| false; false; true |]
+  in
+  Alcotest.(check (float 1e-9)) "parallel edges merge" 5.0 (Ctmc.exit_rate c 0);
+  Alcotest.(check int) "transition count" 2 (Ctmc.n_transitions c);
+  Alcotest.(check (float 1e-9)) "max exit" 5.0 (Ctmc.max_exit_rate c);
+  Alcotest.check_raises "bad initial mass"
+    (Invalid_argument "Ctmc.make: initial distribution must sum to 1") (fun () ->
+      ignore (Ctmc.make ~n_states:1 ~initial:[ (0, 0.5) ] ~transitions:[] ~goal:[| false |]))
+
+let test_uniformized_rows () =
+  let c =
+    Ctmc.make ~n_states:2 ~initial:[ (0, 1.0) ]
+      ~transitions:[ (0, 1, 2.0) ]
+      ~goal:[| false; true |]
+  in
+  let p = Ctmc.uniformized_dtmc c ~q:4.0 in
+  Array.iter
+    (fun row ->
+      let total = Array.fold_left (fun acc (_, x) -> acc +. x) 0.0 row in
+      Alcotest.(check (float 1e-12)) "row sums to one" 1.0 total)
+    p
+
+(* --- transient analysis against closed forms --- *)
+
+let test_two_state_exponential () =
+  let lambda = 0.3 in
+  let c =
+    Ctmc.make ~n_states:2 ~initial:[ (0, 1.0) ]
+      ~transitions:[ (0, 1, lambda) ]
+      ~goal:[| false; true |]
+  in
+  List.iter
+    (fun t ->
+      let expected = 1.0 -. exp (-.lambda *. t) in
+      Alcotest.(check (float 1e-8))
+        (Printf.sprintf "1 - e^{-lt} at t=%g" t)
+        expected
+        (Transient.reach_probability c ~horizon:t))
+    [ 0.0; 0.5; 1.0; 5.0; 20.0 ]
+
+let test_erlang_chain () =
+  (* a -> b -> c with equal rates: P(reach c by t) = 1 - e^{-lt}(1 + lt) *)
+  let lambda = 0.5 in
+  let c =
+    Ctmc.make ~n_states:3 ~initial:[ (0, 1.0) ]
+      ~transitions:[ (0, 1, lambda); (1, 2, lambda) ]
+      ~goal:[| false; false; true |]
+  in
+  List.iter
+    (fun t ->
+      let lt = lambda *. t in
+      let expected = 1.0 -. (exp (-.lt) *. (1.0 +. lt)) in
+      Alcotest.(check (float 1e-8))
+        (Printf.sprintf "erlang-2 at t=%g" t)
+        expected
+        (Transient.reach_probability c ~horizon:t))
+    [ 0.5; 2.0; 10.0 ]
+
+let test_goal_absorbing () =
+  (* passing through the goal counts even if the chain then leaves it:
+     the analysis makes goal states absorbing *)
+  let c =
+    Ctmc.make ~n_states:2 ~initial:[ (0, 1.0) ]
+      ~transitions:[ (0, 1, 1.0); (1, 0, 1000.0) ]
+      ~goal:[| false; true |]
+  in
+  let p = Transient.reach_probability c ~horizon:5.0 in
+  Alcotest.(check bool) "visit counted despite fast return" true (p > 0.99)
+
+let test_initial_goal_mass () =
+  let c =
+    Ctmc.make ~n_states:2
+      ~initial:[ (0, 0.25); (1, 0.75) ]
+      ~transitions:[] ~goal:[| false; true |]
+  in
+  Alcotest.(check (float 1e-12)) "horizon 0 returns initial mass" 0.75
+    (Transient.reach_probability c ~horizon:0.0);
+  Alcotest.(check (float 1e-12)) "absorbing chain stays" 0.75
+    (Transient.reach_probability c ~horizon:100.0)
+
+let test_poisson_weights () =
+  let lambda = 7.3 in
+  let total = ref 0.0 in
+  for k = 0 to 200 do
+    total := !total +. exp (Transient.log_poisson_weight ~lambda k)
+  done;
+  Alcotest.(check (float 1e-9)) "weights sum to 1" 1.0 !total;
+  Alcotest.(check bool) "mode near lambda" true
+    (Transient.log_poisson_weight ~lambda 7
+    > Transient.log_poisson_weight ~lambda 2)
+
+(* --- explorer --- *)
+
+let test_explorer_two_state () =
+  let net = load {|
+device D
+features
+  v: out data port bool := false;
+end D;
+device implementation D.I
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[rate 0.3 then v := true]-> b;
+end D.I;
+root D.I;
+|} in
+  let g = goal net "v" in
+  let ctmc, stats = Explorer.explore net ~goal:g in
+  Alcotest.(check int) "two stable states" 2 stats.Explorer.stable_states;
+  Alcotest.(check int) "one transition" 1 stats.Explorer.transitions;
+  Alcotest.(check (float 1e-8)) "matches closed form"
+    (1.0 -. exp (-0.3 *. 4.0))
+    (Transient.reach_probability ctmc ~horizon:4.0)
+
+let test_explorer_immediate_elimination () =
+  (* a rate transition into a vanishing state with two immediate exits:
+     the closure splits the mass equally (the simulator's rule) *)
+  let net = load {|
+device D
+features
+  v: out data port int := 0;
+end D;
+device implementation D.I
+modes
+  a: initial mode;
+  hub: mode;
+  l: mode;
+  r: mode;
+transitions
+  a -[rate 1.0]-> hub;
+  hub -[then v := 1]-> l;
+  hub -[then v := 2]-> r;
+end D.I;
+root D.I;
+|} in
+  let g = goal net "v = 1" in
+  let ctmc, stats = Explorer.explore net ~goal:g in
+  (* hub is vanishing: only a, l, r remain *)
+  Alcotest.(check int) "vanishing state eliminated" 3 stats.Explorer.stable_states;
+  Alcotest.(check bool) "closure visited the hub" true (stats.Explorer.vanishing_visits > 0);
+  let p = Transient.reach_probability ctmc ~horizon:1000.0 in
+  Alcotest.(check (float 1e-6)) "half the mass goes left" 0.5 p
+
+let test_explorer_rejects_timed () =
+  let net = load Slimsim_models.Gps.nominal_only in
+  let g = goal net "measurement" in
+  match Explorer.explore net ~goal:g with
+  | exception Explorer.Not_untimed _ -> ()
+  | _ -> Alcotest.fail "timed models must be rejected"
+
+let test_explorer_immediate_cycle () =
+  let net = load {|
+device D
+features
+  v: out data port bool := false;
+end D;
+device implementation D.I
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[]-> b;
+  b -[]-> a;
+end D.I;
+root D.I;
+|} in
+  let g = goal net "v" in
+  match Explorer.explore net ~goal:g with
+  | exception Explorer.Immediate_cycle _ -> ()
+  | _ -> Alcotest.fail "immediate cycles must be detected"
+
+let test_explorer_state_cap () =
+  let net = load (Slimsim_models.Sensor_filter.source ~n:3) in
+  let g = goal net (Slimsim_models.Sensor_filter.goal_all_failed ~n:3) in
+  match Explorer.explore ~max_states:10 net ~goal:g with
+  | exception Explorer.Too_many_states _ -> ()
+  | _ -> Alcotest.fail "the state cap must be enforced"
+
+(* --- bounded until on the chain pipeline --- *)
+
+let two_phase_model = {|
+device D
+features
+  v: out data port int := 0;
+end D;
+device implementation D.I
+modes
+  a: initial mode;
+  b: mode;
+  c: mode;
+transitions
+  a -[rate 0.1 then v := 1]-> b;
+  b -[rate 0.2 then v := 2]-> c;
+end D.I;
+root D.I;
+|}
+
+let test_until_pipeline () =
+  let net = load two_phase_model in
+  let g2 = goal net "v = 2" and g1 = goal net "v = 1" in
+  let pass_through_b = goal net "v <= 1" and skip_b = goal net "v = 0" in
+  let t = 8.0 in
+  (* hold v<=1: same as plain reachability of v=2 *)
+  let ctmc, _ = Explorer.explore ~hold:pass_through_b net ~goal:g2 in
+  let l1, l2 = (0.1, 0.2) in
+  let expected =
+    1.0 -. ((l2 *. exp (-.l1 *. t)) -. (l1 *. exp (-.l2 *. t))) /. (l2 -. l1)
+  in
+  Alcotest.(check (float 1e-8)) "hold-free until = reachability" expected
+    (Transient.reach_probability ctmc ~horizon:t);
+  (* hold v=0: the path must reach v=2 without visiting v=1 — impossible *)
+  let ctmc0, _ = Explorer.explore ~hold:skip_b net ~goal:g2 in
+  Alcotest.(check (float 1e-12)) "blocked until is zero" 0.0
+    (Transient.reach_probability ctmc0 ~horizon:t);
+  (* hold v=0 with goal v=1 is the plain two-state form *)
+  let ctmc1, _ = Explorer.explore ~hold:skip_b net ~goal:g1 in
+  Alcotest.(check (float 1e-8)) "first phase" (1.0 -. exp (-.l1 *. t))
+    (Transient.reach_probability ctmc1 ~horizon:t)
+
+let test_until_lumping_preserves () =
+  let net = load two_phase_model in
+  let g2 = goal net "v = 2" in
+  let skip_b = goal net "v = 0" in
+  let ctmc, _ = Explorer.explore ~hold:skip_b net ~goal:g2 in
+  let r = Lumping.lump ctmc in
+  Alcotest.(check (float 1e-12)) "bad labels survive lumping"
+    (Transient.reach_probability ctmc ~horizon:5.0)
+    (Transient.reach_probability r.Lumping.quotient ~horizon:5.0)
+
+(* --- qualitative invariant checking --- *)
+
+let test_invariant_holds () =
+  let net = load (Slimsim_models.Sensor_filter.source ~n:2) in
+  (* exhaustion implies every sensor reads out of range *)
+  let prop =
+    goal net
+      "(sensors.exhausted => (sensors.s1.value > 5 and sensors.s2.value > 5))"
+  in
+  match Slimsim_ctmc.Qualitative.check_invariant net ~prop with
+  | Ok (Slimsim_ctmc.Qualitative.Holds { states }) ->
+    Alcotest.(check bool) "explored some states" true (states > 10)
+  | Ok (Slimsim_ctmc.Qualitative.Violated _) -> Alcotest.fail "invariant must hold"
+  | Error e -> Alcotest.fail e
+
+let test_invariant_violated_with_trace () =
+  let net = load (Slimsim_models.Sensor_filter.source ~n:1) in
+  let prop = goal net "not sensors.exhausted" in
+  match Slimsim_ctmc.Qualitative.check_invariant net ~prop with
+  | Ok (Slimsim_ctmc.Qualitative.Violated { trace; _ }) ->
+    Alcotest.(check bool) "counterexample is non-empty" true (trace <> []);
+    Alcotest.(check bool) "counterexample mentions the fault" true
+      (List.exists (fun s -> Astring_contains.contains s "SensorFail") trace)
+  | Ok (Slimsim_ctmc.Qualitative.Holds _) -> Alcotest.fail "expected a violation"
+  | Error e -> Alcotest.fail e
+
+let test_invariant_state_cap () =
+  let net = load (Slimsim_models.Sensor_filter.source ~n:3) in
+  let prop = goal net "true" in
+  match Slimsim_ctmc.Qualitative.check_invariant ~max_states:5 net ~prop with
+  | Error e -> Alcotest.(check bool) "cap reported" true (Astring_contains.contains e "exceeds")
+  | Ok _ -> Alcotest.fail "expected the cap to trigger"
+
+(* --- lumping --- *)
+
+let test_lumping_symmetric_chain () =
+  (* two parallel two-state components with identical rates are
+     symmetric: lumping must shrink the product chain *)
+  let net = load (Slimsim_models.Sensor_filter.source ~n:2) in
+  let g = goal net (Slimsim_models.Sensor_filter.goal_all_failed ~n:2) in
+  let ctmc, _ = Explorer.explore net ~goal:g in
+  let r = Lumping.lump ctmc in
+  Alcotest.(check bool) "reduction happened" true (r.Lumping.n_blocks < ctmc.Ctmc.n_states);
+  List.iter
+    (fun h ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "lumped probability preserved at %g" h)
+        (Transient.reach_probability ctmc ~horizon:h)
+        (Transient.reach_probability r.Lumping.quotient ~horizon:h))
+    [ 100.0; 1800.0; 10000.0 ]
+
+let test_lumping_respects_goal () =
+  (* two structurally identical states with different labels must not
+     be merged *)
+  let c =
+    Ctmc.make ~n_states:3 ~initial:[ (0, 1.0) ]
+      ~transitions:[ (0, 1, 1.0); (0, 2, 1.0) ]
+      ~goal:[| false; true; false |]
+  in
+  let r = Lumping.lump c in
+  Alcotest.(check int) "goal split kept" 3 r.Lumping.n_blocks;
+  Alcotest.(check bool) "goal states map to goal blocks" true
+    r.Lumping.quotient.Ctmc.goal.(r.Lumping.block_of.(1))
+
+let test_lumping_merges_parallel_twins () =
+  (* two goal states with identical future behaviour collapse *)
+  let c =
+    Ctmc.make ~n_states:3 ~initial:[ (0, 1.0) ]
+      ~transitions:[ (0, 1, 1.0); (0, 2, 1.0) ]
+      ~goal:[| false; true; true |]
+  in
+  let r = Lumping.lump c in
+  Alcotest.(check int) "twins merged" 2 r.Lumping.n_blocks;
+  Alcotest.(check (float 1e-9)) "rates added into the block" 2.0
+    (Ctmc.exit_rate r.Lumping.quotient r.Lumping.block_of.(0))
+
+(* --- full pipeline vs closed form --- *)
+
+let test_pipeline_sensor_filter () =
+  List.iter
+    (fun n ->
+      let net = load (Slimsim_models.Sensor_filter.source ~n) in
+      let g = goal net (Slimsim_models.Sensor_filter.goal_all_failed ~n) in
+      let horizon = 1800.0 in
+      match Analysis.check net ~goal:g ~horizon with
+      | Ok r ->
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "closed form at n=%d" n)
+          (Slimsim_models.Sensor_filter.closed_form ~n ~horizon)
+          r.Analysis.probability
+      | Error e -> Alcotest.fail e)
+    [ 1; 2; 3 ]
+
+let test_pipeline_lump_ablation () =
+  let net = load (Slimsim_models.Sensor_filter.source ~n:2) in
+  let g = goal net (Slimsim_models.Sensor_filter.goal_all_failed ~n:2) in
+  let with_lump = Analysis.check net ~goal:g ~horizon:1800.0 in
+  let without = Analysis.check ~lump:false net ~goal:g ~horizon:1800.0 in
+  match with_lump, without with
+  | Ok a, Ok b ->
+    Alcotest.(check (float 1e-9)) "same probability" a.Analysis.probability
+      b.Analysis.probability;
+    Alcotest.(check bool) "lumping shrinks" true
+      (a.Analysis.lumped_states < b.Analysis.lumped_states)
+  | _ -> Alcotest.fail "pipeline failed"
+
+let suite =
+  [
+    Alcotest.test_case "ctmc construction" `Quick test_ctmc_make;
+    Alcotest.test_case "uniformized rows" `Quick test_uniformized_rows;
+    Alcotest.test_case "two-state closed form" `Quick test_two_state_exponential;
+    Alcotest.test_case "erlang chain closed form" `Quick test_erlang_chain;
+    Alcotest.test_case "goal made absorbing" `Quick test_goal_absorbing;
+    Alcotest.test_case "initial goal mass" `Quick test_initial_goal_mass;
+    Alcotest.test_case "poisson weights" `Quick test_poisson_weights;
+    Alcotest.test_case "explorer two states" `Quick test_explorer_two_state;
+    Alcotest.test_case "vanishing elimination" `Quick test_explorer_immediate_elimination;
+    Alcotest.test_case "timed models rejected" `Quick test_explorer_rejects_timed;
+    Alcotest.test_case "immediate cycle detected" `Quick test_explorer_immediate_cycle;
+    Alcotest.test_case "state cap" `Quick test_explorer_state_cap;
+    Alcotest.test_case "invariant holds" `Quick test_invariant_holds;
+    Alcotest.test_case "invariant violated" `Quick test_invariant_violated_with_trace;
+    Alcotest.test_case "invariant state cap" `Quick test_invariant_state_cap;
+    Alcotest.test_case "until pipeline" `Quick test_until_pipeline;
+    Alcotest.test_case "until survives lumping" `Quick test_until_lumping_preserves;
+    Alcotest.test_case "lumping symmetric chain" `Quick test_lumping_symmetric_chain;
+    Alcotest.test_case "lumping respects goal" `Quick test_lumping_respects_goal;
+    Alcotest.test_case "lumping merges twins" `Quick test_lumping_merges_parallel_twins;
+    Alcotest.test_case "pipeline vs closed form" `Quick test_pipeline_sensor_filter;
+    Alcotest.test_case "lump ablation" `Quick test_pipeline_lump_ablation;
+  ]

@@ -1,0 +1,215 @@
+(* Unit and property tests for the interval-set algebra. *)
+
+module I = Slimsim_intervals.Interval_set
+
+let set_testable = Alcotest.testable I.pp I.equal
+
+let check_set = Alcotest.check set_testable
+
+(* --- generators for qcheck --- *)
+
+let gen_bound_pair =
+  QCheck2.Gen.(
+    let* a = float_range (-50.0) 50.0 in
+    let* w = float_range 0.0 20.0 in
+    let* lc = bool and* hc = bool in
+    let* shape = int_range 0 9 in
+    match shape with
+    | 0 -> return (I.Neg_inf, I.Fin (a, hc))
+    | 1 -> return (I.Fin (a, lc), I.Pos_inf)
+    | 2 -> return (I.Fin (a, true), I.Fin (a, true)) (* point *)
+    | _ -> return (I.Fin (a, lc), I.Fin (a +. w, hc)))
+
+let gen_set =
+  QCheck2.Gen.(
+    let* n = int_range 0 4 in
+    let* pairs = list_size (return n) gen_bound_pair in
+    return (I.of_intervals pairs))
+
+(* Probe points at and around all finite endpoints plus fixed probes —
+   membership at these decides set equality for our constructions. *)
+let probes s1 s2 =
+  let endpoints s =
+    List.concat_map
+      (fun (iv : I.interval) ->
+        let of_bound = function I.Fin (x, _) -> [ x ] | _ -> [] in
+        of_bound iv.I.lo @ of_bound iv.I.hi)
+      (I.intervals s)
+  in
+  let base = endpoints s1 @ endpoints s2 @ [ -1000.0; 0.0; 1000.0 ] in
+  List.concat_map (fun x -> [ x -. 1e-6; x; x +. 1e-6 ]) base
+
+let forall_probes s1 s2 f = List.for_all f (probes s1 s2)
+
+(* --- unit tests --- *)
+
+let test_constructors () =
+  check_set "closed empty when inverted" I.empty (I.closed 2.0 1.0);
+  check_set "open degenerate is empty" I.empty (I.open_ 1.0 1.0);
+  Alcotest.(check bool) "point mem" true (I.mem 5.0 (I.point 5.0));
+  Alcotest.(check bool) "point not mem" false (I.mem 5.0001 (I.point 5.0));
+  Alcotest.(check bool) "at_least includes bound" true (I.mem 3.0 (I.at_least 3.0));
+  Alcotest.(check bool) "greater_than excludes bound" false
+    (I.mem 3.0 (I.greater_than 3.0));
+  Alcotest.(check bool) "full contains everything" true (I.mem 1e12 I.full)
+
+let test_union_merging () =
+  check_set "touching closed intervals merge" (I.closed 0.0 2.0)
+    (I.union (I.closed 0.0 1.0) (I.closed 1.0 2.0));
+  check_set "half-open chain merges"
+    (I.union (I.closed 0.0 1.0) (I.open_ 1.0 2.0) |> I.union (I.point 2.0))
+    (I.closed 0.0 2.0);
+  (* (0,1) u (1,2) must NOT merge: 1 is missing *)
+  let s = I.union (I.open_ 0.0 1.0) (I.open_ 1.0 2.0) in
+  Alcotest.(check int) "two components" 2 (List.length (I.intervals s));
+  Alcotest.(check bool) "gap point missing" false (I.mem 1.0 s)
+
+let test_complement () =
+  let s = I.complement (I.closed 1.0 2.0) in
+  Alcotest.(check bool) "left of hole" true (I.mem 0.999 s);
+  Alcotest.(check bool) "left edge excluded" false (I.mem 1.0 s);
+  Alcotest.(check bool) "inside excluded" false (I.mem 1.5 s);
+  Alcotest.(check bool) "right edge excluded" false (I.mem 2.0 s);
+  Alcotest.(check bool) "right of hole" true (I.mem 2.001 s);
+  check_set "complement of full" I.empty (I.complement I.full);
+  check_set "complement of empty" I.full (I.complement I.empty)
+
+let test_inter () =
+  check_set "overlap" (I.closed 1.0 2.0)
+    (I.inter (I.closed 0.0 2.0) (I.closed 1.0 3.0));
+  check_set "disjoint" I.empty (I.inter (I.closed 0.0 1.0) (I.closed 2.0 3.0));
+  check_set "touching closed gives point" (I.point 1.0)
+    (I.inter (I.closed 0.0 1.0) (I.closed 1.0 2.0));
+  check_set "touching open is empty" I.empty
+    (I.inter (I.open_ 0.0 1.0) (I.open_ 1.0 2.0))
+
+let test_measure () =
+  Alcotest.(check (float 1e-9)) "closed" 1.0 (I.measure (I.closed 0.0 1.0));
+  Alcotest.(check (float 1e-9)) "union" 2.0
+    (I.measure (I.union (I.closed 0.0 1.0) (I.closed 5.0 6.0)));
+  Alcotest.(check (float 1e-9)) "point" 0.0 (I.measure (I.point 3.0));
+  Alcotest.(check bool) "unbounded" true (I.measure (I.at_least 0.0) = infinity)
+
+let test_component_at () =
+  let s = I.union (I.closed 0.0 1.0) (I.closed 3.0 4.0) in
+  (match I.component_at 0.5 s with
+  | Some iv ->
+    Alcotest.(check bool) "component is [0,1]" true
+      (iv.I.lo = I.Fin (0.0, true) && iv.I.hi = I.Fin (1.0, true))
+  | None -> Alcotest.fail "expected a component");
+  Alcotest.(check bool) "gap has no component" true (I.component_at 2.0 s = None)
+
+let test_first_point () =
+  Alcotest.(check (option (float 1e-9))) "closed attained" (Some 2.0)
+    (I.first_point ~eps:1e-9 (I.closed 2.0 3.0));
+  (match I.first_point ~eps:1e-9 (I.open_ 2.0 3.0) with
+  | Some x -> Alcotest.(check bool) "nudged inside" true (x > 2.0 && x < 3.0)
+  | None -> Alcotest.fail "expected a first point");
+  Alcotest.(check (option (float 1e-9))) "empty" None (I.first_point ~eps:1e-9 I.empty);
+  Alcotest.(check (option (float 1e-9))) "unbounded below" None
+    (I.first_point ~eps:1e-9 (I.at_most 0.0))
+
+let test_last_point_below () =
+  Alcotest.(check (option (float 1e-9))) "cap beyond sup" (Some 3.0)
+    (I.last_point_below ~eps:1e-9 10.0 (I.closed 2.0 3.0));
+  Alcotest.(check (option (float 1e-9))) "cap inside" (Some 2.5)
+    (I.last_point_below ~eps:1e-9 2.5 (I.closed 2.0 3.0));
+  (match I.last_point_below ~eps:1e-9 10.0 (I.open_ 2.0 3.0) with
+  | Some x -> Alcotest.(check bool) "nudged inside" true (x < 3.0 && x > 2.0)
+  | None -> Alcotest.fail "expected a last point");
+  Alcotest.(check (option (float 1e-9))) "cap below set" None
+    (I.last_point_below ~eps:1e-9 1.0 (I.closed 2.0 3.0))
+
+let test_sample_uniform () =
+  let rng = Slimsim_stats.Rng.create 99L in
+  let u01 x = Slimsim_stats.Rng.below rng x in
+  let s = I.union (I.closed 0.0 1.0) (I.closed 10.0 11.0) in
+  for _ = 1 to 500 do
+    match I.sample_uniform u01 s with
+    | Some x -> Alcotest.(check bool) "sample in set" true (I.mem x s)
+    | None -> Alcotest.fail "expected a sample"
+  done;
+  Alcotest.(check (option (float 1e-9))) "zero measure picks the point" (Some 4.0)
+    (I.sample_uniform u01 (I.point 4.0));
+  Alcotest.(check bool) "unbounded not samplable" true
+    (I.sample_uniform u01 (I.at_least 0.0) = None)
+
+let test_clamp () =
+  check_set "clamp" (I.closed 0.0 2.0) (I.clamp_above 2.0 (I.closed 0.0 5.0));
+  check_set "clamp keeps bound closed" (I.point 0.0)
+    (I.clamp_above 0.0 (I.closed 0.0 5.0))
+
+(* --- qcheck properties --- *)
+
+let prop cnt name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:cnt ~name gen f)
+
+let qcheck_tests =
+  [
+    prop 300 "union is membership-wise or"
+      QCheck2.Gen.(pair gen_set gen_set)
+      (fun (s1, s2) ->
+        let u = I.union s1 s2 in
+        forall_probes s1 s2 (fun x -> I.mem x u = (I.mem x s1 || I.mem x s2)));
+    prop 300 "inter is membership-wise and"
+      QCheck2.Gen.(pair gen_set gen_set)
+      (fun (s1, s2) ->
+        let i = I.inter s1 s2 in
+        forall_probes s1 s2 (fun x -> I.mem x i = (I.mem x s1 && I.mem x s2)));
+    prop 300 "complement is membership-wise not" gen_set (fun s ->
+        let c = I.complement s in
+        forall_probes s s (fun x -> I.mem x c = not (I.mem x s)));
+    prop 300 "complement is an involution" gen_set (fun s ->
+        I.equal s (I.complement (I.complement s)));
+    prop 300 "diff = inter complement"
+      QCheck2.Gen.(pair gen_set gen_set)
+      (fun (s1, s2) -> I.equal (I.diff s1 s2) (I.inter s1 (I.complement s2)));
+    prop 300 "de morgan"
+      QCheck2.Gen.(pair gen_set gen_set)
+      (fun (s1, s2) ->
+        I.equal
+          (I.complement (I.union s1 s2))
+          (I.inter (I.complement s1) (I.complement s2)));
+    prop 300 "union measure bounds"
+      QCheck2.Gen.(pair gen_set gen_set)
+      (fun (s1, s2) ->
+        let m = I.measure (I.union s1 s2) in
+        m <= I.measure s1 +. I.measure s2 +. 1e-6
+        && m >= Float.max (I.measure s1) (I.measure s2) -. 1e-6);
+    prop 300 "normalized components are ordered and disjoint" gen_set (fun s ->
+        let rec ok = function
+          | (a : I.interval) :: (b : I.interval) :: rest ->
+            (match a.I.hi, b.I.lo with
+            | I.Fin (x, _), I.Fin (y, _) -> x <= y && ok (b :: rest)
+            | _ -> false)
+          | [ _ ] | [] -> true
+        in
+        ok (I.intervals s));
+    prop 300 "first_point is a member and minimal-ish" gen_set (fun s ->
+        match I.first_point ~eps:1e-9 s with
+        | None -> true
+        | Some x ->
+          I.mem x s
+          && forall_probes s s (fun y -> (not (I.mem y s)) || y >= x -. 1e-6));
+    prop 300 "samples are members" gen_set (fun s ->
+        let rng = Slimsim_stats.Rng.create 7L in
+        if not (I.is_bounded s) then true
+        else
+          match I.sample_uniform (Slimsim_stats.Rng.below rng) s with
+          | None -> I.is_empty s
+          | Some x -> I.mem x s);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "constructors" `Quick test_constructors;
+    Alcotest.test_case "union merging" `Quick test_union_merging;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "intersection" `Quick test_inter;
+    Alcotest.test_case "measure" `Quick test_measure;
+    Alcotest.test_case "component_at" `Quick test_component_at;
+    Alcotest.test_case "first_point" `Quick test_first_point;
+    Alcotest.test_case "last_point_below" `Quick test_last_point_below;
+    Alcotest.test_case "sample_uniform" `Quick test_sample_uniform;
+    Alcotest.test_case "clamp_above" `Quick test_clamp;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "slimsim"
+    [
+      ("intervals", Test_intervals.suite);
+      ("stats", Test_stats.suite);
+      ("sta", Test_sta.suite);
+      ("slim", Test_slim.suite);
+      ("props", Test_props.suite);
+      ("translate", Test_translate.suite);
+      ("sim", Test_sim.suite);
+      ("ctmc", Test_ctmc.suite);
+      ("safety", Test_safety.suite);
+      ("features", Test_features.suite);
+      ("robustness", Test_robustness.suite);
+      ("integration", Test_integration.suite);
+    ]

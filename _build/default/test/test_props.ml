@@ -1,0 +1,95 @@
+(* Tests for the property-pattern frontend. *)
+
+module Pattern = Slimsim_props.Pattern
+
+let ok src =
+  match Pattern.parse src with Ok p -> p | Error e -> Alcotest.fail e
+
+let test_csl_form () =
+  let p = ok "P(<> [0, 3600] sys.failed)" in
+  Alcotest.(check (float 1e-9)) "horizon" 3600.0 p.Pattern.horizon;
+  Alcotest.(check string) "goal" "sys.failed" p.Pattern.goal_src;
+  let p = ok "p(<>[0,12.5] a and not b)" in
+  Alcotest.(check (float 1e-9)) "compact syntax" 12.5 p.Pattern.horizon;
+  Alcotest.(check string) "complex goal kept verbatim" "a and not b" p.Pattern.goal_src
+
+let test_pattern_form () =
+  let p = ok "probability that sys.failed within 100" in
+  Alcotest.(check (float 1e-9)) "horizon" 100.0 p.Pattern.horizon;
+  Alcotest.(check string) "goal" "sys.failed" p.Pattern.goal_src;
+  let p = ok "Probability that a and b within 2.5" in
+  Alcotest.(check string) "multi-word goal" "a and b" p.Pattern.goal_src
+
+let test_rejections () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) (Printf.sprintf "reject %S" src) true
+        (Result.is_error (Pattern.parse src)))
+    [
+      "";
+      "P(sys.failed)";
+      "P(<> sys.failed)";
+      "P(<> [1, 5] g)" (* must start at 0 *);
+      "P(<> [0, -5] g)";
+      "P(<> [0, 5] )";
+      "probability that g";
+      "probability that g within soon";
+      "probability that within 5";
+    ]
+
+let test_resolution () =
+  let model =
+    match Slimsim_slim.Loader.load_string Slimsim_models.Gps.source with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let net = model.Slimsim_slim.Loader.network in
+  (match Pattern.resolve net (ok "P(<> [0, 10] gps in mode active)") with
+  | Ok (_, None, h) -> Alcotest.(check (float 1e-9)) "resolved horizon" 10.0 h
+  | Ok (_, Some _, _) -> Alcotest.fail "unexpected hold"
+  | Error e -> Alcotest.fail e);
+  (match Pattern.resolve net (ok "P(gps.measurement U [0, 10] gps in mode active)") with
+  | Ok (_, Some _, h) -> Alcotest.(check (float 1e-9)) "until horizon" 10.0 h
+  | Ok (_, None, _) -> Alcotest.fail "expected a hold expression"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "bad goal rejected" true
+    (Result.is_error (Pattern.resolve net (ok "P(<> [0, 10] gps.bogus)")))
+
+let test_to_string_roundtrip () =
+  let p = ok "P(<> [0, 60] x > 1)" in
+  let p2 = ok (Pattern.to_string p) in
+  Alcotest.(check bool) "stable under printing" true (p = p2);
+  let u = ok "P(a and b U [0, 60] c)" in
+  let u2 = ok (Pattern.to_string u) in
+  Alcotest.(check bool) "until stable under printing" true (u = u2)
+
+let test_invariance_form () =
+  let p = ok "P([] [0, 30] safe)" in
+  Alcotest.(check bool) "complement flagged" true p.Pattern.complement;
+  Alcotest.(check string) "goal kept un-negated in the source" "safe" p.Pattern.goal_src;
+  let q = ok "probability that safe throughout 30" in
+  Alcotest.(check bool) "pattern style" true q.Pattern.complement;
+  Alcotest.(check (float 1e-9)) "horizon" 30.0 q.Pattern.horizon;
+  let r = ok "probability that g within 5" in
+  Alcotest.(check bool) "existence not complemented" false r.Pattern.complement
+
+let test_until_form () =
+  let p = ok "P(ok_sig U [0, 42] failed)" in
+  Alcotest.(check string) "goal" "failed" p.Pattern.goal_src;
+  Alcotest.(check bool) "hold" true (p.Pattern.hold_src = Some "ok_sig");
+  Alcotest.(check (float 1e-9)) "horizon" 42.0 p.Pattern.horizon;
+  (* parenthesised 'U'-free expressions do not trigger the until split *)
+  let q = ok "P(<> [0, 5] a and U_nit)" in
+  Alcotest.(check bool) "U as identifier prefix untouched" true
+    (q.Pattern.hold_src = None)
+
+let suite =
+  [
+    Alcotest.test_case "CSL form" `Quick test_csl_form;
+    Alcotest.test_case "pattern form" `Quick test_pattern_form;
+    Alcotest.test_case "rejections" `Quick test_rejections;
+    Alcotest.test_case "resolution" `Quick test_resolution;
+    Alcotest.test_case "printing roundtrip" `Quick test_to_string_roundtrip;
+    Alcotest.test_case "until form" `Quick test_until_form;
+    Alcotest.test_case "invariance form" `Quick test_invariance_form;
+  ]

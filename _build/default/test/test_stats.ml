@@ -1,0 +1,258 @@
+(* Tests for the RNG, distributions and statistical generators. *)
+
+module Rng = Slimsim_stats.Rng
+module Dist = Slimsim_stats.Dist
+module Bound = Slimsim_stats.Bound
+module Estimator = Slimsim_stats.Estimator
+module Generator = Slimsim_stats.Generator
+
+let test_rng_determinism () =
+  let r1 = Rng.create 42L and r2 = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 r1) (Rng.bits64 r2)
+  done;
+  let r3 = Rng.create 43L in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.bits64 (Rng.create 42L) <> Rng.bits64 r3)
+
+let test_rng_per_path_streams () =
+  (* per-path streams must not depend on draw order *)
+  let a = Rng.for_path ~seed:7L ~path:3 in
+  let _ = Rng.for_path ~seed:7L ~path:4 in
+  let b = Rng.for_path ~seed:7L ~path:3 in
+  Alcotest.(check int64) "path stream is stable" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_float_range () =
+  let r = Rng.create 5L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create 11L in
+  let seen = Array.make 7 0 in
+  for _ = 1 to 7_000 do
+    let k = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 7);
+    seen.(k) <- seen.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "bucket %d populated" i) true (c > 700))
+    seen
+
+let test_rng_uniformity () =
+  let r = Rng.create 13L in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float r
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_exponential_mean () =
+  let r = Rng.create 17L in
+  let rate = 2.5 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Dist.exponential r ~rate in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true
+    (Float.abs (mean -. (1.0 /. rate)) < 0.01)
+
+let test_categorical () =
+  let r = Rng.create 19L in
+  let weights = [| 1.0; 3.0; 6.0 |] in
+  let counts = Array.make 3 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = Dist.categorical r ~weights in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let frac k = float_of_int counts.(k) /. float_of_int n in
+  Alcotest.(check bool) "weight 1/10" true (Float.abs (frac 0 -. 0.1) < 0.01);
+  Alcotest.(check bool) "weight 3/10" true (Float.abs (frac 1 -. 0.3) < 0.015);
+  Alcotest.(check bool) "weight 6/10" true (Float.abs (frac 2 -. 0.6) < 0.015);
+  Alcotest.check_raises "empty weights rejected"
+    (Invalid_argument "Dist.categorical: total weight must be positive")
+    (fun () -> ignore (Dist.categorical r ~weights:[||]))
+
+let test_exponential_race () =
+  let r = Rng.create 23L in
+  (* the race winner must follow rate proportions; the time Exp(sum) *)
+  let rates = [| 1.0; 4.0 |] in
+  let n = 50_000 in
+  let wins = Array.make 2 0 in
+  let sum_t = ref 0.0 in
+  for _ = 1 to n do
+    match Dist.exponential_race r ~rates with
+    | Some (i, t) ->
+      wins.(i) <- wins.(i) + 1;
+      sum_t := !sum_t +. t
+    | None -> Alcotest.fail "race with positive rates must have a winner"
+  done;
+  Alcotest.(check bool) "winner 1 ~ 80%" true
+    (Float.abs ((float_of_int wins.(1) /. float_of_int n) -. 0.8) < 0.01);
+  Alcotest.(check bool) "holding time ~ 1/5" true
+    (Float.abs ((!sum_t /. float_of_int n) -. 0.2) < 0.005);
+  Alcotest.(check bool) "no winner without rates" true
+    (Dist.exponential_race r ~rates:[| 0.0; 0.0 |] = None)
+
+let test_chernoff_bound () =
+  (* paper formula: N = 4 ln(2/delta) / eps^2 *)
+  let n = Bound.chernoff_samples ~delta:0.05 ~eps:0.01 in
+  Alcotest.(check int) "paper CH count" 147556 n;
+  (* quadratic growth in 1/eps *)
+  let n2 = Bound.chernoff_samples ~delta:0.05 ~eps:0.005 in
+  Alcotest.(check bool) "quadratic in 1/eps" true
+    (Float.abs ((float_of_int n2 /. float_of_int n) -. 4.0) < 0.01);
+  (* monotone in delta *)
+  Alcotest.(check bool) "monotone in delta" true
+    (Bound.chernoff_samples ~delta:0.01 ~eps:0.01
+    > Bound.chernoff_samples ~delta:0.1 ~eps:0.01);
+  Alcotest.(check bool) "hoeffding tighter than paper form" true
+    (Bound.hoeffding_samples ~delta:0.05 ~eps:0.01 < n);
+  Alcotest.check_raises "delta validated"
+    (Invalid_argument "Bound: delta must lie in (0,1)") (fun () ->
+      ignore (Bound.chernoff_samples ~delta:1.5 ~eps:0.1))
+
+let test_hoeffding_inverse () =
+  let delta = 0.05 in
+  let n = Bound.hoeffding_samples ~delta ~eps:0.01 in
+  let eps' = Bound.hoeffding_eps ~delta ~n in
+  Alcotest.(check bool) "eps from n consistent" true (eps' <= 0.01 +. 1e-6);
+  let delta' = Bound.hoeffding_delta ~eps:0.01 ~n in
+  Alcotest.(check bool) "delta from n consistent" true (delta' <= delta +. 1e-9)
+
+let test_normal_quantile () =
+  let cases =
+    [ (0.5, 0.0); (0.975, 1.959964); (0.995, 2.575829); (0.025, -1.959964) ]
+  in
+  List.iter
+    (fun (p, z) ->
+      Alcotest.(check (float 1e-4))
+        (Printf.sprintf "quantile %.3f" p)
+        z
+        (Bound.normal_quantile p))
+    cases
+
+let test_estimator () =
+  let e = Estimator.create () in
+  List.iter (Estimator.add e) [ true; true; false; true ];
+  Alcotest.(check int) "trials" 4 (Estimator.trials e);
+  Alcotest.(check int) "successes" 3 (Estimator.successes e);
+  Alcotest.(check (float 1e-9)) "mean" 0.75 (Estimator.mean e);
+  let lo, hi = Estimator.confidence_interval e ~delta:0.05 in
+  Alcotest.(check bool) "interval clipped to [0,1]" true
+    (lo >= 0.0 && hi <= 1.0 && lo <= 0.75 && hi >= 0.75);
+  let e2 = Estimator.create () in
+  Estimator.add e2 false;
+  let m = Estimator.merge e e2 in
+  Alcotest.(check int) "merged trials" 5 (Estimator.trials m);
+  Alcotest.(check int) "merged successes" 3 (Estimator.successes m)
+
+let test_estimator_coverage () =
+  (* Hoeffding interval at 1-delta must cover the true mean in well over
+     1-delta of experiments. *)
+  let rng = Rng.create 31L in
+  let p = 0.3 and delta = 0.1 in
+  let experiments = 400 and samples = 200 in
+  let covered = ref 0 in
+  for _ = 1 to experiments do
+    let e = Estimator.create () in
+    for _ = 1 to samples do
+      Estimator.add e (Dist.bernoulli rng ~p)
+    done;
+    let lo, hi = Estimator.confidence_interval e ~delta in
+    if lo <= p && p <= hi then incr covered
+  done;
+  Alcotest.(check bool) "coverage above 1 - delta" true
+    (float_of_int !covered /. float_of_int experiments >= 1.0 -. delta)
+
+let test_generators_fixed () =
+  let gen = Generator.create Generator.Chernoff ~delta:0.05 ~eps:0.1 in
+  let planned = Option.get (Generator.planned_samples gen) in
+  Alcotest.(check int) "planned count" 1476 planned;
+  for _ = 1 to planned - 1 do
+    Generator.feed gen true
+  done;
+  Alcotest.(check bool) "needs one more" true (Generator.needs_more gen);
+  Generator.feed gen false;
+  Alcotest.(check bool) "satisfied at N" false (Generator.needs_more gen);
+  Alcotest.(check bool) "gauss plans fewer than chernoff" true
+    (Option.get
+       (Generator.planned_samples (Generator.create Generator.Gauss ~delta:0.05 ~eps:0.1))
+    < planned)
+
+let test_chow_robbins () =
+  let gen = Generator.create Generator.Chow_robbins ~delta:0.05 ~eps:0.05 in
+  Alcotest.(check bool) "sequential has no plan" true
+    (Generator.planned_samples gen = None);
+  let rng = Rng.create 37L in
+  let n = ref 0 in
+  while Generator.needs_more gen && !n < 100_000 do
+    Generator.feed gen (Dist.bernoulli rng ~p:0.2);
+    incr n
+  done;
+  Alcotest.(check bool) "stopped before the cap" true (!n < 100_000);
+  (* CLT count for p(1-p)=0.16 is ~ z^2 * 0.16 / eps^2 ~ 246 *)
+  Alcotest.(check bool) "plausible stopping time" true (!n > 100 && !n < 2000);
+  let m = Estimator.mean (Generator.estimator gen) in
+  Alcotest.(check bool) "estimate near truth" true (Float.abs (m -. 0.2) < 0.08)
+
+let test_generator_names () =
+  List.iter
+    (fun k ->
+      match Generator.kind_of_string (Generator.kind_to_string k) with
+      | Ok k' -> Alcotest.(check bool) "name roundtrip" true (k = k')
+      | Error e -> Alcotest.fail e)
+    [ Generator.Chernoff; Generator.Hoeffding; Generator.Gauss; Generator.Chow_robbins ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Generator.kind_of_string "bogus"))
+
+let test_welford () =
+  let w = Slimsim_stats.Welford.create () in
+  List.iter (Slimsim_stats.Welford.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Slimsim_stats.Welford.count w);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Slimsim_stats.Welford.mean w);
+  Alcotest.(check (float 1e-9)) "sample variance" (32.0 /. 7.0)
+    (Slimsim_stats.Welford.variance w);
+  let lo, hi = Slimsim_stats.Welford.confidence_interval w ~delta:0.05 in
+  Alcotest.(check bool) "interval brackets the mean" true (lo < 5.0 && 5.0 < hi)
+
+let test_welford_constant () =
+  let w = Slimsim_stats.Welford.create () in
+  for _ = 1 to 100 do
+    Slimsim_stats.Welford.add w 3.25
+  done;
+  Alcotest.(check (float 1e-12)) "zero variance" 0.0 (Slimsim_stats.Welford.variance w);
+  let lo, hi = Slimsim_stats.Welford.confidence_interval w ~delta:0.05 in
+  Alcotest.(check (float 1e-12)) "degenerate interval" 0.0 (hi -. lo)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng per-path streams" `Quick test_rng_per_path_streams;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng uniformity" `Slow test_rng_uniformity;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "categorical" `Slow test_categorical;
+    Alcotest.test_case "exponential race" `Slow test_exponential_race;
+    Alcotest.test_case "chernoff bound" `Quick test_chernoff_bound;
+    Alcotest.test_case "hoeffding inverse" `Quick test_hoeffding_inverse;
+    Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+    Alcotest.test_case "estimator" `Quick test_estimator;
+    Alcotest.test_case "estimator coverage" `Slow test_estimator_coverage;
+    Alcotest.test_case "fixed generators" `Quick test_generators_fixed;
+    Alcotest.test_case "chow-robbins" `Quick test_chow_robbins;
+    Alcotest.test_case "generator names" `Quick test_generator_names;
+    Alcotest.test_case "welford" `Quick test_welford;
+    Alcotest.test_case "welford constant" `Quick test_welford_constant;
+  ]
