@@ -1,6 +1,7 @@
 (* slimsim command-line interface (the CLI integration of §II-F):
 
      slimsim info MODEL
+     slimsim lint MODEL [--format text|json] [--fail-on error|warning]
      slimsim simulate MODEL -p PROP [-s STRATEGY] [-d DELTA] [-e EPS] ...
      slimsim exact MODEL -p PROP [--no-lump]
      slimsim trace MODEL -p PROP [-s STRATEGY] [--seed N]
@@ -12,6 +13,7 @@ open Cmdliner
 module S = Slimsim
 module Strategy = Slimsim_sim.Strategy
 module I = Slimsim_intervals.Interval_set
+module Diag = Slimsim_analyze.Diagnostic
 
 let load file =
   match S.load_file file with
@@ -75,6 +77,67 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Show the translated network")
     Term.(const run $ model_arg)
 
+(* --- lint --- *)
+
+let lint_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let fail_on_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("error", Diag.Error); ("warning", Diag.Warning); ("info", Diag.Info) ])
+        Diag.Error
+    & info [ "fail-on" ] ~docv:"SEV"
+        ~doc:
+          "Exit with status 1 when a diagnostic of at least this severity is \
+           reported: $(b,error), $(b,warning) or $(b,info).")
+
+let no_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ] ~doc:"Skip the static-analysis pass before simulating.")
+
+(* Advisory lint pass run automatically before simulation; findings go
+   to stderr and never block the run. *)
+let advisory_lint ~no_lint file m =
+  if not no_lint then begin
+    match S.lint m with
+    | [] -> ()
+    | diags ->
+      Fmt.epr "%s@." (Diag.render_text diags);
+      Fmt.epr "(static analysis of %s; run 'slimsim lint %s' to triage, or \
+               pass --no-lint to silence)@."
+        file file
+  end
+
+let lint_cmd =
+  let run file format fail_on =
+    match Slimsim_analyze.Lint.lint_file file with
+    | Error e ->
+      prerr_endline e;
+      exit 3
+    | Ok diags ->
+      (match format with
+      | `Text ->
+        if diags = [] then Fmt.pr "%s: no issues found@." file
+        else print_endline (Diag.render_text diags)
+      | `Json -> print_endline (Diag.render_json diags));
+      if Diag.exceeds ~threshold:fail_on diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: dead transitions, unreachable modes, unused \
+          declarations, unsynchronizable events, uninitialized reads, \
+          divergent invariants.  Exit status: 0 clean (below the --fail-on \
+          threshold), 1 findings at or above it, 3 unreadable input.")
+    Term.(const run $ model_arg $ lint_format_arg $ fail_on_arg)
+
 (* --- simulate --- *)
 
 let simulate_cmd =
@@ -103,8 +166,10 @@ let simulate_cmd =
       & info [ "deadlock-error" ]
           ~doc:"Abort on dead/timelocks instead of falsifying the property.")
   in
-  let run file prop strategy delta eps workers generator deadlock_error seed =
+  let run file prop strategy delta eps workers generator deadlock_error seed
+      no_lint =
     let m = or_die (load file) in
+    advisory_lint ~no_lint file m;
     let on_deadlock = if deadlock_error then `Error else `Falsify in
     match
       S.check ~workers ~seed ~generator ~on_deadlock m ~property:prop ~strategy
@@ -119,7 +184,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Monte Carlo estimation of a timed reachability property")
     Term.(
       const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
-      $ generator $ deadlock_error $ seed_arg)
+      $ generator $ deadlock_error $ seed_arg $ no_lint_arg)
 
 (* --- exact --- *)
 
@@ -375,7 +440,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "slimsim" ~version:"1.0.0" ~doc)
           [
-            info_cmd; simulate_cmd; exact_cmd; trace_cmd; interactive_cmd;
-            cutsets_cmd; fmea_cmd; fdir_cmd; diagnosability_cmd; verify_cmd;
-            dot_cmd;
+            info_cmd; lint_cmd; simulate_cmd; exact_cmd; trace_cmd;
+            interactive_cmd; cutsets_cmd; fmea_cmd; fdir_cmd;
+            diagnosability_cmd; verify_cmd; dot_cmd;
           ]))

@@ -1,0 +1,124 @@
+open Slimsim_slim.Ast
+module I = Slimsim_intervals.Interval_set
+
+type t = Any | Abool of { can_t : bool; can_f : bool } | Num of I.t
+
+let top_bool = Abool { can_t = true; can_f = true }
+let top_num = Num I.full
+let abool can_t can_f = Abool { can_t; can_f }
+
+let of_ty = function
+  | T_bool -> top_bool
+  | T_int_range (a, b) -> Num (I.closed (float_of_int a) (float_of_int b))
+  | T_clock -> Num (I.at_least 0.0)
+  | T_int | T_real | T_continuous -> top_num
+
+(* Coercions for ill-typed or unknown operands: stay at top, never
+   invent precision. *)
+let as_num = function
+  | Num s -> s
+  | Any | Abool _ -> I.full
+
+let as_bool = function
+  | Abool b -> (b.can_t, b.can_f)
+  | Any | Num _ -> (true, true)
+
+(* ∃ a ∈ A, b ∈ B with a < b?  Only the infimum of A and the supremum
+   of B matter; strictness makes endpoint closedness irrelevant. *)
+let can_lt a b =
+  (not (I.is_empty a))
+  && (not (I.is_empty b))
+  &&
+  match I.inf a, I.sup b with
+  | I.Neg_inf, _ | _, I.Pos_inf -> true
+  | I.Fin (x, _), I.Fin (y, _) -> x < y
+  | I.Pos_inf, _ | _, I.Neg_inf -> false
+
+(* ∃ a ∈ A, b ∈ B with a <= b? *)
+let can_le a b =
+  (not (I.is_empty a))
+  && (not (I.is_empty b))
+  &&
+  match I.inf a, I.sup b with
+  | I.Neg_inf, _ | _, I.Pos_inf -> true
+  | I.Fin (x, cx), I.Fin (y, cy) -> x < y || (x = y && cx && cy)
+  | I.Pos_inf, _ | _, I.Neg_inf -> false
+
+let num_eq a b =
+  let can_t = not (I.is_empty (I.inter a b)) in
+  let can_f =
+    match I.as_point a, I.as_point b with
+    | Some x, Some y -> x <> y
+    | _ -> true
+  in
+  (can_t, can_f)
+
+let bool_eq (t1, f1) (t2, f2) = ((t1 && t2) || (f1 && f2), (t1 && f2) || (f1 && t2))
+
+let not_ = function
+  | Abool b -> abool b.can_f b.can_t
+  | Any | Num _ -> top_bool
+
+let and_ v1 v2 =
+  let t1, f1 = as_bool v1 and t2, f2 = as_bool v2 in
+  abool (t1 && t2) (f1 || f2)
+
+let or_ v1 v2 =
+  let t1, f1 = as_bool v1 and t2, f2 = as_bool v2 in
+  abool (t1 || t2) (f1 && f2)
+
+let rec eval ~env (e : expr) : t =
+  match e with
+  | E_bool b -> abool b (not b)
+  | E_int n -> Num (I.point (float_of_int n))
+  | E_real r -> Num (I.point r)
+  | E_path p -> env p
+  | E_in_mode _ -> top_bool
+  | E_unop (U_not, e1) -> not_ (eval ~env e1)
+  | E_unop (U_neg, e1) -> Num (I.neg (as_num (eval ~env e1)))
+  | E_binop (op, e1, e2) -> (
+    let v1 = eval ~env e1 and v2 = eval ~env e2 in
+    match op with
+    | B_and -> and_ v1 v2
+    | B_or -> or_ v1 v2
+    | B_implies -> or_ (not_ v1) v2
+    | B_add -> Num (I.add (as_num v1) (as_num v2))
+    | B_sub -> Num (I.sub (as_num v1) (as_num v2))
+    | B_mul -> Num (I.mul (as_num v1) (as_num v2))
+    | B_div | B_mod -> top_num
+    | B_min -> Num (I.pointwise_min (as_num v1) (as_num v2))
+    | B_max -> Num (I.pointwise_max (as_num v1) (as_num v2))
+    | B_eq | B_neq -> (
+      let can_t, can_f =
+        match v1, v2 with
+        | Abool b1, Abool b2 ->
+          bool_eq (b1.can_t, b1.can_f) (b2.can_t, b2.can_f)
+        | Num a, Num b -> num_eq a b
+        | _ -> (true, true)
+      in
+      match op with
+      | B_eq -> abool can_t can_f
+      | _ -> abool can_f can_t)
+    | B_lt | B_le | B_gt | B_ge ->
+      let a = as_num v1 and b = as_num v2 in
+      (* can_false of [a < b] is can_true of [b <= a], etc. *)
+      (match op with
+      | B_lt -> abool (can_lt a b) (can_le b a)
+      | B_le -> abool (can_le a b) (can_lt b a)
+      | B_gt -> abool (can_lt b a) (can_le a b)
+      | B_ge -> abool (can_le b a) (can_lt a b)
+      | _ -> assert false))
+
+let can_be_true = function
+  | Abool b -> b.can_t
+  | Any | Num _ -> true
+
+let can_be_false = function
+  | Abool b -> b.can_f
+  | Any | Num _ -> true
+
+let rec is_const = function
+  | E_bool _ | E_int _ | E_real _ -> true
+  | E_path _ | E_in_mode _ -> false
+  | E_unop (_, e) -> is_const e
+  | E_binop (_, e1, e2) -> is_const e1 && is_const e2

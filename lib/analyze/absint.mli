@@ -1,0 +1,40 @@
+(** Interval abstract interpretation of SLIM expressions.
+
+    Every variable is abstracted by its declared domain (an
+    {!Slimsim_intervals.Interval_set} for numbers, a pair of
+    possibility flags for Booleans) and expressions are evaluated
+    compositionally.  Variable occurrences are treated as independent,
+    so the result {e over-approximates} the set of values an
+    expression can take on any reachable valuation: if the abstract
+    value says a guard cannot be true, the guard is genuinely
+    unsatisfiable; if it cannot be false, the guard is a tautology
+    over the domains.  The converse directions do not hold. *)
+
+type t =
+  | Any  (** no information (unknown path, ill-typed operand) *)
+  | Abool of { can_t : bool; can_f : bool }
+  | Num of Slimsim_intervals.Interval_set.t
+      (** set of possible numeric values; never empty *)
+
+val top_bool : t
+(** [Abool {can_t = true; can_f = true}]. *)
+
+val of_ty : Slimsim_slim.Ast.ty -> t
+(** The declared domain of a variable: [bool] can be either truth
+    value, [int [a, b]] is the closed interval, clocks are
+    non-negative (the simulator starts them at 0 with derivative 1 and
+    models never rewind them), everything else is unbounded. *)
+
+val eval : env:(Slimsim_slim.Ast.name_path -> t) -> Slimsim_slim.Ast.expr -> t
+(** Evaluate under per-path domains.  [env] should return {!Any} for
+    paths it cannot resolve. *)
+
+val can_be_true : t -> bool
+(** Could the (Boolean) value be [true]?  [true] for non-Boolean
+    abstract values (no claim is made). *)
+
+val can_be_false : t -> bool
+
+val is_const : Slimsim_slim.Ast.expr -> bool
+(** The expression contains no variable occurrences (and therefore
+    folds to a constant). *)

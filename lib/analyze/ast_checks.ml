@@ -1,0 +1,435 @@
+open Slimsim_slim.Ast
+module Sema = Slimsim_slim.Sema
+module D = Diagnostic
+
+let warn code pos fmt = D.makef ~code ~severity:D.Warning ~pos fmt
+let note code pos fmt = D.makef ~code ~severity:D.Info ~pos fmt
+
+(* Deterministic iteration order over the hash tables. *)
+let sorted_impls (tables : Sema.tables) =
+  Hashtbl.fold (fun k ci acc -> (k, ci) :: acc) tables.Sema.comp_impls []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+
+let sorted_types (tables : Sema.tables) =
+  Hashtbl.fold (fun k ct acc -> (k, ct) :: acc) tables.Sema.comp_types []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+
+let sorted_error_models (tables : Sema.tables) =
+  Hashtbl.fold (fun k em acc -> (k, em) :: acc) tables.Sema.error_models []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+
+let impl_name ci = Printf.sprintf "%s.%s" ci.ci_type ci.ci_name
+
+(* The declared type of a dotted data path within [ci], if any. *)
+let ty_of_path (tables : Sema.tables) ci p : ty option =
+  match p with
+  | [ x ] -> (
+    match Sema.find_data_sub ci x with
+    | Some d -> Some d.sd_ty
+    | None -> (
+      match Hashtbl.find_opt tables.Sema.comp_types ci.ci_type with
+      | None -> None
+      | Some ct -> (
+        match Sema.find_feature ct x with
+        | Some { f_kind = P_data (ty, _); _ } -> Some ty
+        | _ -> None)))
+  | [ s; x ] -> (
+    match Sema.find_comp_sub ci s with
+    | None -> None
+    | Some sc -> (
+      match Hashtbl.find_opt tables.Sema.comp_types (fst sc.sc_impl) with
+      | None -> None
+      | Some ct -> (
+        match Sema.find_feature ct x with
+        | Some { f_kind = P_data (ty, _); _ } -> Some ty
+        | _ -> None)))
+  | _ -> None
+
+let domain_env tables ci : name_path -> Absint.t =
+ fun p ->
+  match ty_of_path tables ci p with
+  | Some ty -> Absint.of_ty ty
+  | None -> Absint.Any
+
+(* --- W001 / I001: guard satisfiability --- *)
+
+let guard_unsat tables ci (t : transition) =
+  match t.t_guard with
+  | None -> false
+  | Some g ->
+    not (Absint.can_be_true (Absint.eval ~env:(domain_env tables ci) g))
+
+let check_guards tables ci emit =
+  let env = domain_env tables ci in
+  List.iter
+    (fun (t : transition) ->
+      match t.t_guard with
+      | None -> ()
+      | Some g ->
+        let v = Absint.eval ~env g in
+        let how =
+          if Absint.is_const g then "is constant false"
+          else "can never hold for the declared variable domains"
+        in
+        if not (Absint.can_be_true v) then
+          emit
+            (warn Codes.dead_transition t.t_pos
+               "transition %S -> %S of %s: the guard %s; the transition can \
+                never fire"
+               t.t_src t.t_dst (impl_name ci) how)
+        else if not (Absint.can_be_false v) then
+          emit
+            (note Codes.constant_guard t.t_pos
+               "transition %S -> %S of %s: the guard always holds; the 'when' \
+                clause is redundant"
+               t.t_src t.t_dst (impl_name ci)))
+    ci.ci_transitions
+
+(* --- W002: structural reachability --- *)
+
+let unreachable_modes tables ci =
+  match List.find_opt (fun m -> m.m_initial) ci.ci_modes with
+  | None -> []
+  | Some init ->
+    let reached = Hashtbl.create 8 in
+    let rec visit m =
+      if not (Hashtbl.mem reached m) then begin
+        Hashtbl.add reached m ();
+        List.iter
+          (fun (t : transition) ->
+            if t.t_src = m && not (guard_unsat tables ci t) then visit t.t_dst)
+          ci.ci_transitions
+      end
+    in
+    visit init.m_name;
+    List.filter_map
+      (fun m -> if Hashtbl.mem reached m.m_name then None else Some m.m_name)
+      ci.ci_modes
+
+let unreachable_error_states (em : error_model) =
+  match List.find_opt (fun s -> s.es_initial) em.em_states with
+  | None -> []
+  | Some init ->
+    let reached = Hashtbl.create 8 in
+    let rec visit s =
+      if not (Hashtbl.mem reached s) then begin
+        Hashtbl.add reached s ();
+        List.iter
+          (fun (t : error_transition) -> if t.et_src = s then visit t.et_dst)
+          em.em_transitions
+      end
+    in
+    visit init.es_name;
+    List.filter_map
+      (fun s -> if Hashtbl.mem reached s.es_name then None else Some s.es_name)
+      em.em_states
+
+let check_mode_reachability tables ci emit =
+  let dead = unreachable_modes tables ci in
+  List.iter
+    (fun m ->
+      if List.mem m.m_name dead then
+        emit
+          (warn Codes.unreachable_mode m.m_pos
+             "mode %S of %s is unreachable from the initial mode" m.m_name
+             (impl_name ci)))
+    ci.ci_modes
+
+let check_error_reachability em emit =
+  let dead = unreachable_error_states em in
+  List.iter
+    (fun s ->
+      if List.mem s.es_name dead then
+        emit
+          (warn Codes.unreachable_mode s.es_pos
+             "error state %S of error model %S is unreachable from the \
+              initial state"
+             s.es_name em.em_name))
+    em.em_states
+
+(* --- W003 / W005: usage analysis --- *)
+
+type usage = {
+  local_read : (string * string * string, unit) Hashtbl.t;
+      (** (impl type, impl name, data subcomponent) occurs in an expression *)
+  port_used : (string * string, unit) Hashtbl.t;
+      (** (component type, port) referenced anywhere at all *)
+  port_read : (string * string, unit) Hashtbl.t;
+  port_driven : (string * string, unit) Hashtbl.t;
+      (** dst of a connection, flow target, assignment target, injection *)
+}
+
+let rec iter_paths f = function
+  | E_bool _ | E_int _ | E_real _ -> ()
+  | E_path p -> f p
+  | E_in_mode (p, _) -> f p
+  | E_unop (_, e) -> iter_paths f e
+  | E_binop (_, e1, e2) ->
+    iter_paths f e1;
+    iter_paths f e2
+
+(* Resolve the component type owning port [x] along path [p] in [ci]. *)
+let port_owner ci p =
+  match p with
+  | [ x ] -> (
+    match Sema.find_data_sub ci x with
+    | Some _ -> None (* a local variable, not a port *)
+    | None -> Some (ci.ci_type, x))
+  | [ s; x ] -> (
+    match Sema.find_comp_sub ci s with
+    | Some sc -> Some (fst sc.sc_impl, x)
+    | None -> None)
+  | _ -> None
+
+let record_read ci usage p =
+  (match p with
+  | [ x ] when Sema.find_data_sub ci x <> None ->
+    Hashtbl.replace usage.local_read (ci.ci_type, ci.ci_name, x) ()
+  | _ -> ());
+  match port_owner ci p with
+  | Some key ->
+    Hashtbl.replace usage.port_used key ();
+    Hashtbl.replace usage.port_read key ()
+  | None -> ()
+
+let record_port ci usage ~driven p =
+  match port_owner ci p with
+  | Some key ->
+    Hashtbl.replace usage.port_used key ();
+    if driven then Hashtbl.replace usage.port_driven key ()
+  | None -> ()
+
+(* The component type of an instance path rooted at the model root. *)
+let type_of_instance_path (tables : Sema.tables) path =
+  let rec go ci = function
+    | [] -> Some ci.ci_type
+    | s :: rest -> (
+      match Sema.find_comp_sub ci s with
+      | None -> None
+      | Some sc -> (
+        match Hashtbl.find_opt tables.Sema.comp_impls sc.sc_impl with
+        | None -> None
+        | Some sub_ci -> go sub_ci rest))
+  in
+  go tables.Sema.root_impl path
+
+let collect_usage tables =
+  let usage =
+    {
+      local_read = Hashtbl.create 64;
+      port_used = Hashtbl.create 64;
+      port_read = Hashtbl.create 64;
+      port_driven = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (_, ci) ->
+      let read e = iter_paths (record_read ci usage) e in
+      List.iter
+        (function
+          | Sub_data { sd_init = Some e; _ } -> read e
+          | Sub_data _ | Sub_comp _ -> ())
+        ci.ci_subcomps;
+      List.iter
+        (fun m -> match m.m_invariant with Some e -> read e | None -> ())
+        ci.ci_modes;
+      List.iter
+        (fun (t : transition) ->
+          (match t.t_guard with Some g -> read g | None -> ());
+          (match t.t_trigger with
+          | Trig_event p -> record_port ci usage ~driven:false p
+          | Trig_none | Trig_rate _ -> ());
+          List.iter
+            (function
+              | Eff_assign (p, e) ->
+                read e;
+                record_port ci usage ~driven:true p
+              | Eff_reset _ -> ())
+            t.t_effects)
+        ci.ci_transitions;
+      List.iter
+        (fun (fl : flow) ->
+          read fl.fl_expr;
+          record_port ci usage ~driven:true [ fl.fl_target ])
+        ci.ci_flows;
+      List.iter
+        (fun (cn : connection) ->
+          record_port ci usage ~driven:false cn.cn_src;
+          record_port ci usage ~driven:true cn.cn_dst)
+        ci.ci_connections)
+    (sorted_impls tables);
+  (* Fault injections write to out data ports of the extended instance. *)
+  List.iter
+    (fun (ex : extension) ->
+      match type_of_instance_path tables ex.ex_target with
+      | None -> ()
+      | Some tname ->
+        List.iter
+          (fun (inj : injection) ->
+            match inj.inj_target with
+            | [ x ] ->
+              Hashtbl.replace usage.port_used (tname, x) ();
+              Hashtbl.replace usage.port_driven (tname, x) ()
+            | _ -> ())
+          ex.ex_injections)
+    tables.Sema.extensions;
+  usage
+
+let check_unused tables usage emit =
+  (* Local data subcomponents that no expression ever reads. *)
+  List.iter
+    (fun (_, ci) ->
+      List.iter
+        (function
+          | Sub_data d ->
+            if not (Hashtbl.mem usage.local_read (ci.ci_type, ci.ci_name, d.sd_name))
+            then
+              emit
+                (warn Codes.unused_declaration d.sd_pos
+                   "data subcomponent %S of %s is never read (no guard, \
+                    invariant, flow or assignment mentions it)"
+                   d.sd_name (impl_name ci))
+          | Sub_comp _ -> ())
+        ci.ci_subcomps)
+    (sorted_impls tables);
+  (* Ports nothing in the whole model references. *)
+  List.iter
+    (fun (tname, ct) ->
+      List.iter
+        (fun f ->
+          if not (Hashtbl.mem usage.port_used (tname, f.f_name)) then
+            emit
+              (warn Codes.unused_declaration f.f_pos
+                 "%s port %S of component type %S is never connected, read \
+                  or triggered anywhere in the model"
+                 (match f.f_kind with P_event -> "event" | P_data _ -> "data")
+                 f.f_name tname))
+        ct.ct_features)
+    (sorted_types tables)
+
+let check_uninitialized tables usage emit =
+  (* Plain data variables read without an explicit initializer. *)
+  List.iter
+    (fun (_, ci) ->
+      List.iter
+        (function
+          | Sub_data ({ sd_init = None; sd_ty = T_bool | T_int | T_int_range _ | T_real; _ } as d)
+            when Hashtbl.mem usage.local_read (ci.ci_type, ci.ci_name, d.sd_name) ->
+            emit
+              (warn Codes.uninitialized_read d.sd_pos
+                 "data subcomponent %S of %s is read but has no initializer; \
+                  it silently starts from the type default"
+                 d.sd_name (impl_name ci))
+          | Sub_data _ | Sub_comp _ -> ())
+        ci.ci_subcomps)
+    (sorted_impls tables);
+  (* In data ports that are read but never driven and carry no default. *)
+  List.iter
+    (fun (tname, ct) ->
+      List.iter
+        (fun f ->
+          match f.f_kind, f.f_dir with
+          | P_data (_, None), In
+            when Hashtbl.mem usage.port_read (tname, f.f_name)
+                 && not (Hashtbl.mem usage.port_driven (tname, f.f_name)) ->
+            emit
+              (warn Codes.uninitialized_read f.f_pos
+                 "in data port %S of component type %S is read but no \
+                  connection drives it and it has no default value"
+                 f.f_name tname)
+          | _ -> ())
+        ct.ct_features)
+    (sorted_types tables)
+
+(* --- W006: invariant/derivative divergence --- *)
+
+let rec conjuncts = function
+  | E_binop (B_and, e1, e2) -> conjuncts e1 @ conjuncts e2
+  | e -> [ e ]
+
+(* Is [e] constant under delay (no clock or continuous variable)? *)
+let delay_constant tables ci e =
+  let ok = ref true in
+  iter_paths
+    (fun p ->
+      match ty_of_path tables ci p with
+      | Some (T_clock | T_continuous) -> ok := false
+      | Some _ -> ()
+      | None -> ok := false)
+    e;
+  !ok
+
+let check_invariants tables ci emit =
+  List.iter
+    (fun m ->
+      match m.m_invariant with
+      | None -> ()
+      | Some inv ->
+        let deriv_of v ty =
+          match List.assoc_opt v m.m_derivs with
+          | Some d -> d
+          | None -> ( match ty with T_clock -> 1.0 | _ -> 0.0)
+        in
+        let escapes =
+          List.exists
+            (fun (t : transition) ->
+              t.t_src = m.m_name && not (guard_unsat tables ci t))
+            ci.ci_transitions
+        in
+        let atom_bound = function
+          (* normalize to [v <= bound] / [v >= bound] with [v] on the left *)
+          | E_binop ((B_le | B_lt), E_path [ v ], rhs) -> Some (v, `Upper, rhs)
+          | E_binop ((B_ge | B_gt), rhs, E_path [ v ]) -> Some (v, `Upper, rhs)
+          | E_binop ((B_ge | B_gt), E_path [ v ], rhs) -> Some (v, `Lower, rhs)
+          | E_binop ((B_le | B_lt), rhs, E_path [ v ]) -> Some (v, `Lower, rhs)
+          | _ -> None
+        in
+        List.iter
+          (fun atom ->
+            match atom_bound atom with
+            | None -> ()
+            | Some (v, side, rhs) -> (
+              match Sema.find_data_sub ci v with
+              | Some { sd_ty = (T_clock | T_continuous) as ty; _ }
+                when delay_constant tables ci rhs -> (
+                let d = deriv_of v ty in
+                let never_tight =
+                  match side with `Upper -> d <= 0.0 | `Lower -> d >= 0.0
+                in
+                if never_tight then
+                  emit
+                    (warn Codes.divergent_invariant m.m_pos
+                       "mode %S of %s: the invariant bounds %S %s but its \
+                        derivative here is %g; the bound can never become \
+                        tight, so the invariant never forces the mode to be \
+                        left"
+                       m.m_name (impl_name ci) v
+                       (match side with
+                       | `Upper -> "from above"
+                       | `Lower -> "from below")
+                       d)
+                else if not escapes then
+                  emit
+                    (warn Codes.divergent_invariant m.m_pos
+                       "mode %S of %s: the invariant bound on %S (derivative \
+                        %g) will expire, but the mode has no outgoing \
+                        transition that could fire: a certain time-lock"
+                       m.m_name (impl_name ci) v d))
+              | _ -> ()))
+          (conjuncts inv))
+    ci.ci_modes
+
+let check tables =
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  List.iter
+    (fun (_, ci) ->
+      check_guards tables ci emit;
+      check_mode_reachability tables ci emit;
+      check_invariants tables ci emit)
+    (sorted_impls tables);
+  List.iter (fun (_, em) -> check_error_reachability em emit) (sorted_error_models tables);
+  let usage = collect_usage tables in
+  check_unused tables usage emit;
+  check_uninitialized tables usage emit;
+  List.rev !out

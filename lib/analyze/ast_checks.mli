@@ -1,0 +1,24 @@
+(** Static checks over the SLIM AST and sema tables:
+
+    - {b W001} dead transitions — the guard is unsatisfiable under the
+      interval abstraction of the declared variable domains;
+    - {b I001} constant guards — the guard always holds;
+    - {b W002} structurally unreachable modes and error states;
+    - {b W003} unused data subcomponents and never-referenced ports;
+    - {b W005} reads of variables and ports with no explicit
+      initializer (and, for in data ports, no driving connection);
+    - {b W006} invariant bounds that can never become tight given the
+      mode's derivatives, and invariants that expire with no escape
+      transition (time-locks). *)
+
+val check : Slimsim_slim.Sema.tables -> Diagnostic.t list
+(** Diagnostics in declaration order (not sorted). *)
+
+val unreachable_modes :
+  Slimsim_slim.Sema.tables -> Slimsim_slim.Ast.comp_impl -> string list
+(** The mode names of the implementation that are unreachable from its
+    initial mode, treating transitions with unsatisfiable guards as
+    absent.  Used by {!Net_checks} to avoid re-reporting the same
+    defect against every instance. *)
+
+val unreachable_error_states : Slimsim_slim.Ast.error_model -> string list

@@ -1,0 +1,101 @@
+type entry = {
+  code : string;
+  severity : Diagnostic.severity;
+  title : string;
+  summary : string;
+}
+
+let parse_error = "E000"
+let semantic_error = "E001"
+let translation_error = "E002"
+let dead_transition = "W001"
+let unreachable_mode = "W002"
+let unused_declaration = "W003"
+let unsynchronized_event = "W004"
+let uninitialized_read = "W005"
+let divergent_invariant = "W006"
+let constant_guard = "I001"
+
+let all =
+  [
+    {
+      code = parse_error;
+      severity = Diagnostic.Error;
+      title = "parse-error";
+      summary = "the model file does not conform to the SLIM grammar";
+    };
+    {
+      code = semantic_error;
+      severity = Diagnostic.Error;
+      title = "semantic-error";
+      summary =
+        "name resolution, typing or well-formedness violation reported by \
+         semantic analysis";
+    };
+    {
+      code = translation_error;
+      severity = Diagnostic.Error;
+      title = "translation-error";
+      summary = "the model could not be translated into a network of STAs";
+    };
+    {
+      code = dead_transition;
+      severity = Diagnostic.Warning;
+      title = "dead-transition";
+      summary =
+        "a transition guard is unsatisfiable for the declared variable \
+         domains: the transition can never fire";
+    };
+    {
+      code = unreachable_mode;
+      severity = Diagnostic.Warning;
+      title = "unreachable-mode";
+      summary =
+        "a mode, error state or translated location is not reachable from \
+         the initial one by any sequence of transitions";
+    };
+    {
+      code = unused_declaration;
+      severity = Diagnostic.Warning;
+      title = "unused-declaration";
+      summary =
+        "a data subcomponent is never read, or a port is never connected, \
+         read or triggered anywhere in the model";
+    };
+    {
+      code = unsynchronized_event;
+      severity = Diagnostic.Warning;
+      title = "unsynchronized-event";
+      summary =
+        "an event in the translated network has no synchronization partner: \
+         a sender with no receiver, or a receiver that can never be \
+         triggered";
+    };
+    {
+      code = uninitialized_read;
+      severity = Diagnostic.Warning;
+      title = "uninitialized-read";
+      summary =
+        "a variable or port is read but carries no explicit initializer; \
+         it silently starts from the type default (false / 0 / 0.0)";
+    };
+    {
+      code = divergent_invariant;
+      severity = Diagnostic.Warning;
+      title = "divergent-invariant";
+      summary =
+        "a mode invariant bound can never become tight given the mode's \
+         derivatives (the mode may dwell forever), or it expires with no \
+         outgoing transition (a certain time-lock)";
+    };
+    {
+      code = constant_guard;
+      severity = Diagnostic.Info;
+      title = "constant-guard";
+      summary =
+        "a transition guard always holds for the declared variable domains; \
+         the 'when' clause is redundant";
+    };
+  ]
+
+let find c = List.find_opt (fun e -> e.code = c) all

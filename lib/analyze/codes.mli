@@ -1,0 +1,29 @@
+(** The catalogue of diagnostic codes.
+
+    Codes are stable across releases: tools may match on them, and
+    [docs/DIAGNOSTICS.md] documents each one.  [E...] codes are hard
+    errors from the frontend, [W...] lint warnings, [I...] informative
+    notes. *)
+
+type entry = {
+  code : string;
+  severity : Diagnostic.severity;  (** severity the code is emitted at *)
+  title : string;  (** short kebab-ish label, e.g. ["dead-transition"] *)
+  summary : string;  (** one-line description *)
+}
+
+val all : entry list
+(** Every known code, in code order. *)
+
+val find : string -> entry option
+
+val parse_error : string
+val semantic_error : string
+val translation_error : string
+val dead_transition : string
+val unreachable_mode : string
+val unused_declaration : string
+val unsynchronized_event : string
+val uninitialized_read : string
+val divergent_invariant : string
+val constant_guard : string

@@ -1,0 +1,68 @@
+include Slimsim_slim.Diag
+
+let sort ds = List.sort compare ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let max_severity = function
+  | [] -> None
+  | d :: ds ->
+    Some
+      (List.fold_left
+         (fun acc d ->
+           if severity_rank d.severity > severity_rank acc then d.severity else acc)
+         d.severity ds)
+
+let at_least threshold s = severity_rank s >= severity_rank threshold
+
+let exceeds ~threshold ds =
+  List.exists (fun d -> at_least threshold d.severity) ds
+
+let render_text = function
+  | [] -> ""
+  | ds ->
+    let lines = List.map to_string ds in
+    let summary =
+      Printf.sprintf "%d error(s), %d warning(s), %d info(s)" (count Error ds)
+        (count Warning ds) (count Info ds)
+    in
+    String.concat "\n" (lines @ [ summary ])
+
+(* Minimal JSON string escaping (RFC 8259): backslash, quote and control
+   characters. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json ds =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"code\": \"%s\", \"severity\": \"%s\", \"line\": %d, \"col\": %d, \"message\": \"%s\"}"
+           (json_escape d.code)
+           (severity_to_string d.severity)
+           d.pos.Slimsim_slim.Ast.line d.pos.Slimsim_slim.Ast.col
+           (json_escape d.msg)))
+    ds;
+  if ds <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf
+       "], \"summary\": {\"errors\": %d, \"warnings\": %d, \"infos\": %d}}"
+       (count Error ds) (count Warning ds) (count Info ds));
+  Buffer.contents buf

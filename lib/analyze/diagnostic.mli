@@ -1,0 +1,36 @@
+(** The diagnostics framework of the static analyzer.
+
+    The underlying record type lives in {!Slimsim_slim.Diag} (so that
+    the frontend's semantic errors are diagnostics too); this module
+    re-exports it and adds the aggregate operations: ordering,
+    severity summaries, and the text and JSON renderers used by
+    [slimsim lint]. *)
+
+include module type of Slimsim_slim.Diag
+(** @inline *)
+
+val sort : t list -> t list
+(** Source order (position, then severity, then code). *)
+
+val count : severity -> t list -> int
+
+val max_severity : t list -> severity option
+(** [None] on an empty list. *)
+
+val at_least : severity -> severity -> bool
+(** [at_least threshold s]: is [s] at least as severe as [threshold]? *)
+
+val exceeds : threshold:severity -> t list -> bool
+(** Some diagnostic is at least as severe as [threshold]. *)
+
+val render_text : t list -> string
+(** One diagnostic per line ([Diag.pp] format), followed by a summary
+    line ["N error(s), N warning(s), N info(s)"].  Empty string for an
+    empty list. *)
+
+val render_json : t list -> string
+(** Stable machine-readable rendering:
+    [{"diagnostics": [{"code", "severity", "line", "col", "message"},
+    ...], "summary": {"errors", "warnings", "infos"}}] with one
+    diagnostic object per line.  The list is rendered in the order
+    given (callers normally {!sort} first). *)

@@ -1,0 +1,24 @@
+open Slimsim_slim
+
+let run tables net =
+  Diagnostic.sort (Ast_checks.check tables @ Net_checks.check ~tables net)
+
+let lint_string src =
+  match Parser.parse_model src with
+  | Error e ->
+    [ Diagnostic.make ~code:Codes.parse_error ~severity:Diagnostic.Error
+        ~pos:Ast.no_pos e ]
+  | Ok ast -> (
+    match Sema.analyze ast with
+    | Error errs -> Diagnostic.sort errs
+    | Ok tables -> (
+      match Translate.translate tables with
+      | Error e ->
+        [ Diagnostic.make ~code:Codes.translation_error
+            ~severity:Diagnostic.Error ~pos:Ast.no_pos e ]
+      | Ok net -> run tables net))
+
+let lint_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> Ok (lint_string src)
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,19 @@
+(** The lint driver: run every static check over a model and collect
+    the findings as sorted diagnostics.
+
+    Hard frontend failures are reported through the same channel:
+    parse errors as [E000], semantic errors as [E001] (the diagnostics
+    {!Slimsim_slim.Sema.analyze} produced), translation failures as
+    [E002] — so a CI pipeline only ever deals with one output shape. *)
+
+val run :
+  Slimsim_slim.Sema.tables -> Slimsim_sta.Network.t -> Diagnostic.t list
+(** Lint an already-loaded model (all [W...]/[I...] checks). *)
+
+val lint_string : string -> Diagnostic.t list
+(** Parse, analyze, translate and lint SLIM source.  Frontend failures
+    short-circuit: their diagnostics are returned and no lint checks
+    run. *)
+
+val lint_file : string -> (Diagnostic.t list, string) result
+(** [Error] only for I/O failures (unreadable file). *)

@@ -1,0 +1,131 @@
+open Slimsim_slim
+module N = Slimsim_sta.Network
+module A = Slimsim_sta.Automaton
+module E = Slimsim_sta.Expr
+module V = Slimsim_sta.Value
+module D = Diagnostic
+
+let warn code pos fmt = D.makef ~code ~severity:D.Warning ~pos fmt
+
+(* Event-port synchronization groups are named "evt:<group key>" by the
+   translation; reset and propagation events have their own prefixes and
+   legitimately involve a single process, so only "evt:" groups are
+   checked. *)
+let port_group name =
+  if String.length name > 4 && String.sub name 0 4 = "evt:" then
+    Some (String.sub name 4 (String.length name - 4))
+  else None
+
+let check_events net emit =
+  let reported = Array.make (N.n_events net) false in
+  (* Receivers with no sender: the translation guards their transitions
+     with literal [false]. *)
+  Array.iteri
+    (fun pi (proc : A.t) ->
+      Array.iter
+        (fun (tr : A.transition) ->
+          match tr.A.label, tr.A.guard with
+          | A.Event e, A.Guard (E.Const (V.Bool false)) -> (
+            match port_group (N.event_name net e) with
+            | Some group when not reported.(e) ->
+              reported.(e) <- true;
+              emit
+                (warn Codes.unsynchronized_event Ast.no_pos
+                   "event group %S: process %S waits for it, but no \
+                    connected out event port can emit it; these transitions \
+                    can never fire"
+                   group
+                   (N.proc_name net pi))
+            | _ -> ())
+          | _ -> ())
+        proc.A.transitions)
+    net.N.procs;
+  (* Senders with no receiver: a group that synchronizes one process. *)
+  for e = 0 to N.n_events net - 1 do
+    if not reported.(e) then
+      match port_group (N.event_name net e) with
+      | None -> ()
+      | Some group -> (
+        match N.event_participants net e with
+        | [ p ] ->
+          emit
+            (warn Codes.unsynchronized_event Ast.no_pos
+               "event group %S synchronizes only process %S: the event \
+                fires without any communication partner"
+               group (N.proc_name net p))
+        | [] ->
+          emit
+            (warn Codes.unsynchronized_event Ast.no_pos
+               "event group %S appears in no process alphabet" group)
+        | _ :: _ :: _ -> ())
+  done
+
+(* Locations unreachable in the translated automaton.  Defects that are
+   already structural in the source (reported by Ast_checks per
+   declaration) are skipped so they are not repeated per instance. *)
+let check_reachability ~tables net emit =
+  let root =
+    match Instance.build tables with Ok r -> Some r | Error _ -> None
+  in
+  Array.iteri
+    (fun _pi (proc : A.t) ->
+      let reach = A.reachable proc in
+      if Array.exists not reach then begin
+        let pname = proc.A.proc_name in
+        let nominal, em_name =
+          match String.index_opt pname '#' with
+          | Some i ->
+            ( String.sub pname 0 i,
+              Some (String.sub pname (i + 1) (String.length pname - i - 1)) )
+          | None -> (pname, None)
+        in
+        let path =
+          if nominal = "main" then [] else String.split_on_char '.' nominal
+        in
+        let inst = Option.bind root (fun r -> Instance.find r path) in
+        let em =
+          Option.bind em_name (Hashtbl.find_opt tables.Sema.error_models)
+        in
+        let skip =
+          match em, inst with
+          | Some em, _ -> Ast_checks.unreachable_error_states em
+          | None, Some inst -> Ast_checks.unreachable_modes tables inst.Instance.ci
+          | None, None -> []
+        in
+        let pos_of loc =
+          match em, inst with
+          | Some em, _ -> (
+            match
+              List.find_opt (fun s -> s.Ast.es_name = loc) em.Ast.em_states
+            with
+            | Some s -> s.Ast.es_pos
+            | None -> Ast.no_pos)
+          | None, Some inst -> (
+            match
+              List.find_opt
+                (fun m -> m.Ast.m_name = loc)
+                inst.Instance.ci.Ast.ci_modes
+            with
+            | Some m -> m.Ast.m_pos
+            | None -> Ast.no_pos)
+          | None, None -> Ast.no_pos
+        in
+        Array.iteri
+          (fun li (loc : A.location) ->
+            if (not reach.(li)) && not (List.mem loc.A.loc_name skip) then
+              emit
+                (warn Codes.unreachable_mode (pos_of loc.A.loc_name)
+                   "location %S of process %S is unreachable in the \
+                    translated network (after removing transitions that can \
+                    never fire)"
+                   loc.A.loc_name pname))
+          proc.A.locations
+      end)
+    net.N.procs
+
+let check ~tables net =
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  check_events net emit;
+  check_reachability ~tables net emit;
+  List.rev !out

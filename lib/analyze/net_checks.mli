@@ -1,0 +1,17 @@
+(** Static checks over the translated network of stochastic timed
+    automata:
+
+    - {b W004} never-synchronized events: an event-port group whose
+      synchronization set contains a single process (a sender with no
+      receiver fires silently), and event transitions the translation
+      has already guarded with literal [false] (a receiver whose group
+      has no sender: it can never be triggered);
+    - {b W002} locations that are unreachable in a translated
+      automaton even though their source mode or error state looks
+      reachable in the AST (for example, a mode entered only through a
+      transition on a dead event group).  Defects already reported by
+      {!Ast_checks} against the declaration are not repeated here for
+      every instance. *)
+
+val check :
+  tables:Slimsim_slim.Sema.tables -> Slimsim_sta.Network.t -> Diagnostic.t list

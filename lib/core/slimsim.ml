@@ -11,6 +11,10 @@ let load_string = Loader.load_string
 let load_file = Loader.load_file
 let network (m : model) = m.Loader.network
 let ast (m : model) = m.Loader.ast
+let tables (m : model) = m.Loader.tables
+
+let lint (m : model) =
+  Slimsim_analyze.Lint.run m.Loader.tables m.Loader.network
 
 let ( let* ) = Result.bind
 

@@ -32,6 +32,11 @@ val load_file : string -> (model, string) result
 
 val network : model -> Slimsim_sta.Network.t
 val ast : model -> Slimsim_slim.Ast.model
+val tables : model -> Slimsim_slim.Sema.tables
+
+val lint : model -> Slimsim_analyze.Diagnostic.t list
+(** Run every static check ({!Slimsim_analyze.Lint.run}) over a loaded
+    model.  Sorted by source position. *)
 
 val parse_property :
   model ->

@@ -232,6 +232,69 @@ let sample_uniform u01 s =
       | Some x -> Some x
       | None -> ( match sup s with Fin (b, _) -> Some b | _ -> None))
 
+(* --- over-approximating set arithmetic (used by the lint abstract
+   interpreter); results always contain the exact image set --- *)
+
+let neg_bound = function
+  | Neg_inf -> Pos_inf
+  | Pos_inf -> Neg_inf
+  | Fin (x, c) -> Fin (-.x, c)
+
+let neg s =
+  (* Negation reverses the component order, so [rev_map] restores it. *)
+  List.rev_map (fun iv -> { lo = neg_bound iv.hi; hi = neg_bound iv.lo }) s
+
+let add_lo b1 b2 =
+  match b1, b2 with
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Fin (a, ca), Fin (b, cb) -> Fin (a +. b, ca && cb)
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+
+let add_hi b1 b2 =
+  match b1, b2 with
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+  | Fin (a, ca), Fin (b, cb) -> Fin (a +. b, ca && cb)
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+
+let add s1 s2 =
+  match s1, s2 with
+  | [], _ | _, [] -> []
+  | _ ->
+    List.concat_map
+      (fun i1 -> List.map (fun i2 -> (add_lo i1.lo i2.lo, add_hi i1.hi i2.hi)) s2)
+      s1
+    |> of_intervals
+
+let sub s1 s2 = add s1 (neg s2)
+
+let hull s = match s with [] | [ _ ] -> s | _ -> make (inf s) (sup s)
+
+let mul s1 s2 =
+  match s1, s2 with
+  | [], _ | _, [] -> []
+  | _ -> (
+    match inf s1, sup s1, inf s2, sup s2 with
+    | Fin (a, _), Fin (b, _), Fin (c, _), Fin (d, _) ->
+      let ps = [ a *. c; a *. d; b *. c; b *. d ] in
+      closed (List.fold_left min (a *. c) ps) (List.fold_left max (a *. c) ps)
+    | _ -> full (* an unbounded factor: fall back to the trivial hull *))
+
+let min_lower b1 b2 = if cmp_lower b1 b2 <= 0 then b1 else b2
+
+let pointwise_min s1 s2 =
+  match s1, s2 with
+  | [], _ | _, [] -> []
+  | _ -> make (min_lower (inf s1) (inf s2)) (min_upper (sup s1) (sup s2))
+
+let pointwise_max s1 s2 =
+  match s1, s2 with
+  | [], _ | _, [] -> []
+  | _ -> make (max_lower (inf s1) (inf s2)) (max_upper (sup s1) (sup s2))
+
+let as_point = function
+  | [ { lo = Fin (a, true); hi = Fin (b, true) } ] when a = b -> Some a
+  | _ -> None
+
 let pp_bound_lo ppf = function
   | Neg_inf -> Fmt.string ppf "(-inf"
   | Fin (x, true) -> Fmt.pf ppf "[%g" x

@@ -106,5 +106,35 @@ val sample_uniform : (float -> float) -> t -> float option
 val clamp_above : float -> t -> t
 (** [clamp_above cap s] = [s ∩ (-inf, cap]]. *)
 
+(** {1 Set arithmetic}
+
+    Over-approximating arithmetic for the lint abstract interpreter
+    ({!Slimsim_analyze}): each result contains the exact image
+    [{f x y | x ∈ s1, y ∈ s2}] but may be larger — [mul],
+    [pointwise_min] and [pointwise_max] return a single hull interval,
+    and endpoint closedness may be widened. *)
+
+val neg : t -> t
+(** Exact pointwise negation. *)
+
+val add : t -> t -> t
+(** Minkowski sum; exact up to merging of touching components. *)
+
+val sub : t -> t -> t
+(** [sub s1 s2] = [add s1 (neg s2)]. *)
+
+val mul : t -> t -> t
+(** Hull of the pointwise product; [full] when either factor is
+    unbounded (and both are non-empty). *)
+
+val pointwise_min : t -> t -> t
+val pointwise_max : t -> t -> t
+
+val hull : t -> t
+(** Smallest single interval containing the set. *)
+
+val as_point : t -> float option
+(** [Some x] iff the set is exactly the closed singleton [{x}]. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,39 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  pos : Ast.pos;
+  msg : string;
+}
+
+let make ~code ~severity ~pos msg = { code; severity; pos; msg }
+
+let makef ~code ~severity ~pos fmt =
+  Format.kasprintf (fun msg -> { code; severity; pos; msg }) fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let compare a b =
+  let c = Stdlib.compare (a.pos.Ast.line, a.pos.Ast.col) (b.pos.Ast.line, b.pos.Ast.col) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.code b.code in
+      if c <> 0 then c else Stdlib.compare a.msg b.msg
+
+let pp ppf d =
+  if d.pos.Ast.line = 0 then
+    Fmt.pf ppf "%s[%s]: %s" (severity_to_string d.severity) d.code d.msg
+  else
+    Fmt.pf ppf "%d:%d: %s[%s]: %s" d.pos.Ast.line d.pos.Ast.col
+      (severity_to_string d.severity) d.code d.msg
+
+let to_string d = Fmt.str "%a" pp d

@@ -1,0 +1,39 @@
+(** Structured diagnostics shared by the frontend and the static
+    analyzer: every message carries a stable code (["E001"], ["W003"],
+    ...), a severity, and a source position.  [Sema] reports its errors
+    with this type; [Slimsim_analyze.Diagnostic] re-exports it together
+    with the text/JSON renderers, so semantic errors and lint findings
+    render uniformly. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable machine-readable code, e.g. ["W001"] *)
+  severity : severity;
+  pos : Ast.pos;  (** [Ast.no_pos] when no source location applies *)
+  msg : string;
+}
+
+val make : code:string -> severity:severity -> pos:Ast.pos -> string -> t
+
+val makef :
+  code:string ->
+  severity:severity ->
+  pos:Ast.pos ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_to_string : severity -> string
+
+val severity_rank : severity -> int
+(** [Info] = 0, [Warning] = 1, [Error] = 2. *)
+
+val compare : t -> t -> int
+(** Source order: by position, then severity (most severe first), then
+    code, then message. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["LINE:COL: SEVERITY[CODE]: message"]; the position prefix is
+    omitted for [Ast.no_pos]. *)
+
+val to_string : t -> string

@@ -1,6 +1,9 @@
 open Ast
 
-type error = { msg : string; pos : pos }
+type error = Diag.t
+(* Semantic errors are ordinary diagnostics (code "E001", severity
+   Error) so that they render uniformly with the lint findings of
+   Slimsim_analyze. *)
 
 type tables = {
   comp_types : (string, comp_type) Hashtbl.t;
@@ -42,7 +45,11 @@ let find_comp_sub ci name =
 type ctx = { tables : tables; errors : error list ref }
 
 let err ctx pos fmt =
-  Format.kasprintf (fun msg -> ctx.errors := { msg; pos } :: !(ctx.errors)) fmt
+  Format.kasprintf
+    (fun msg ->
+      ctx.errors :=
+        Diag.make ~code:"E001" ~severity:Diag.Error ~pos msg :: !(ctx.errors))
+    fmt
 
 let check_unique ctx what pos names =
   let seen = Hashtbl.create 8 in
@@ -650,9 +657,8 @@ let analyze (m : model) =
   | [], Some t -> Ok t
   | errs, _ -> Error (List.rev errs)
 
-let pp_error ppf e =
-  if e.pos.line = 0 then Fmt.pf ppf "%s" e.msg
-  else Fmt.pf ppf "%d:%d: %s" e.pos.line e.pos.col e.msg
+(* Thin compat wrappers over the structured diagnostics. *)
+let pp_error = Diag.pp
 
 let errors_to_string errs =
-  String.concat "\n" (List.map (Fmt.str "%a" pp_error) errs)
+  String.concat "\n" (List.map Diag.to_string errs)

@@ -6,7 +6,9 @@
     recursion detection (the COMPASS validation step mentioned in
     §II-F). *)
 
-type error = { msg : string; pos : Ast.pos }
+type error = Diag.t
+(** Semantic errors are structured diagnostics (code ["E001"], severity
+    [Diag.Error]) — see {!Diag}. *)
 
 type tables = {
   comp_types : (string, Ast.comp_type) Hashtbl.t;
@@ -19,6 +21,8 @@ type tables = {
 val analyze : Ast.model -> (tables, error list) result
 
 val find_feature : Ast.comp_type -> string -> Ast.feature option
+val find_data_sub : Ast.comp_impl -> string -> Ast.data_sub option
+val find_comp_sub : Ast.comp_impl -> string -> Ast.comp_sub option
 
 type ety = Ty_bool | Ty_int | Ty_real
 (** Erased expression types: ranges erase to [Ty_int], clocks and

@@ -96,6 +96,25 @@ let is_markovian_loc t l =
     (fun i -> match t.transitions.(i).guard with Rate _ -> true | Guard _ -> false)
     t.outgoing.(l)
 
+let reachable t =
+  let seen = Array.make (Array.length t.locations) false in
+  let rec visit l =
+    if not seen.(l) then begin
+      seen.(l) <- true;
+      List.iter
+        (fun i ->
+          let tr = t.transitions.(i) in
+          (* Skip edges whose guard is literally [false] (the translation
+             emits these for never-synchronizable event groups). *)
+          match tr.guard with
+          | Guard (Expr.Const (Value.Bool false)) -> ()
+          | Guard _ | Rate _ -> visit tr.dst)
+        t.outgoing.(l)
+    end
+  in
+  visit t.initial_loc;
+  seen
+
 let pp ppf t =
   Fmt.pf ppf "process %s: %d locations, %d transitions, initial %s" t.proc_name
     (Array.length t.locations)

@@ -53,4 +53,12 @@ val make :
 
 val find_loc : t -> string -> int option
 val is_markovian_loc : t -> int -> bool
+
+val reachable : t -> bool array
+(** Per-location structural reachability from the initial location,
+    following all transitions except those whose guard is the literal
+    [false] (which the SLIM translation emits for transitions on
+    never-synchronizable event groups).  Guards are otherwise not
+    interpreted, so this over-approximates true reachability. *)
+
 val pp : Format.formatter -> t -> unit

@@ -131,6 +131,9 @@ let event_name t e = t.events.(e)
 let proc_name t p = t.procs.(p).Automaton.proc_name
 let loc_name t ~proc l = t.procs.(proc).Automaton.locations.(l).Automaton.loc_name
 
+let n_events t = Array.length t.events
+let event_participants t e = t.participants.(e)
+
 let pp_summary ppf t =
   Fmt.pf ppf "network: %d processes, %d variables, %d events, %d flows"
     (Array.length t.procs) (Array.length t.vars) (Array.length t.events)

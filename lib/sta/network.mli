@@ -56,6 +56,11 @@ val default_meta : proc_meta
 
 val n_procs : t -> int
 val n_vars : t -> int
+val n_events : t -> int
+
+val event_participants : t -> int -> int list
+(** The processes with the given event in their alphabet (the event's
+    synchronization group). *)
 
 val find_var : t -> string -> int option
 val find_proc : t -> string -> int option

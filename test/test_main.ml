@@ -10,6 +10,7 @@ let () =
       ("sim", Test_sim.suite);
       ("ctmc", Test_ctmc.suite);
       ("safety", Test_safety.suite);
+      ("analyze", Test_analyze.suite);
       ("features", Test_features.suite);
       ("robustness", Test_robustness.suite);
       ("integration", Test_integration.suite);
