@@ -330,10 +330,15 @@ let safety () =
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel.     *)
+(* Each one-path kernel is measured twice — through the interpreted    *)
+(* reference and through the staged compiled core — so the speedup of  *)
+(* the compilation pass is visible in one run.  [--json] writes the    *)
+(* table to BENCH_sim.json; [--quick] shortens the quota for CI.       *)
 
-let micro () =
+let micro ?(quick = false) ?(json = false) () =
   line ();
-  Fmt.pr "micro -- bechamel benchmarks of the experiment kernels@.";
+  Fmt.pr "micro -- bechamel benchmarks of the experiment kernels%s@."
+    (if quick then " (quick)" else "");
   line ();
   let open Bechamel in
   let nominal_gps = load Gps.nominal_only in
@@ -355,24 +360,48 @@ let micro () =
     | Ok (g, _, _) -> g
     | Error e -> failwith e
   in
+  let nominal_net = Slimsim.network nominal_gps in
+  let nominal_goal =
+    match Slimsim_slim.Loader.parse_goal nominal_net "measurement" with
+    | Ok g -> g
+    | Error e -> failwith e
+  in
   let one_path net goal strategy seed =
     let cfg = Slimsim_sim.Path.default_config ~horizon:300.0 in
     let rng = Slimsim_stats.Rng.for_path ~seed ~path:0 in
     ignore (Slimsim_sim.Path.generate net cfg strategy rng ~goal)
   in
+  (* compiled kernels: network staged once, one scratch reused per run
+     (the engine's per-worker usage pattern) *)
+  let one_path_compiled net goal strategy =
+    let c = Slimsim_sta.Compiled.compile net in
+    let q = Slimsim_sim.Path.compile_query c ~goal in
+    let s = Slimsim_sta.Compiled.scratch c in
+    let cfg = Slimsim_sim.Path.default_config ~horizon:300.0 in
+    fun seed ->
+      let rng = Slimsim_stats.Rng.for_path ~seed ~path:0 in
+      ignore (Slimsim_sim.Path.generate_compiled c s q cfg strategy rng)
+  in
+  let sf2_c = one_path_compiled sf2_net sf2_goal Strategy.Asap in
+  let gps_c =
+    one_path_compiled (Slimsim.network full_gps) gps_goal Strategy.Progressive
+  in
+  let nominal_c = one_path_compiled nominal_net nominal_goal Strategy.Asap in
   let tests =
     [
       Test.make ~name:"table1:one-path-sensor-filter"
         (Staged.stage (fun () -> one_path sf2_net sf2_goal Strategy.Asap 1L));
+      Test.make ~name:"table1:one-path-sensor-filter-compiled"
+        (Staged.stage (fun () -> sf2_c 1L));
       Test.make ~name:"fig5-like:one-path-gps-progressive"
         (Staged.stage (fun () ->
              one_path (Slimsim.network full_gps) gps_goal Strategy.Progressive 1L));
+      Test.make ~name:"fig5-like:one-path-gps-progressive-compiled"
+        (Staged.stage (fun () -> gps_c 1L));
       Test.make ~name:"fig2:one-path-gps-nominal"
-        (Staged.stage (fun () ->
-             let net = Slimsim.network nominal_gps in
-             match Slimsim_slim.Loader.parse_goal net "measurement" with
-             | Ok g -> one_path net g Strategy.Asap 1L
-             | Error e -> failwith e));
+        (Staged.stage (fun () -> one_path nominal_net nominal_goal Strategy.Asap 1L));
+      Test.make ~name:"fig2:one-path-gps-nominal-compiled"
+        (Staged.stage (fun () -> nominal_c 1L));
       Test.make ~name:"table1:ctmc-pipeline-n2"
         (Staged.stage (fun () ->
              match
@@ -385,21 +414,51 @@ let micro () =
              ignore (load (Launcher.source ~variant:`Recoverable))));
     ]
   in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let quota = if quick then 0.1 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) () in
   let clock = Toolkit.Instance.monotonic_clock in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  Fmt.pr "  %-40s %14s@." "kernel" "ns/run (OLS)";
+  Fmt.pr "  %-45s %14s %14s@." "kernel" "ns/run (OLS)" "runs/sec";
+  let rows = ref [] in
   List.iter
     (fun t ->
+      let t0 = Unix.gettimeofday () in
       let raw = Benchmark.all cfg [ clock ] t in
+      let wall = Unix.gettimeofday () -. t0 in
       let results = Analyze.all ols clock raw in
       Hashtbl.iter
         (fun name o ->
           match Analyze.OLS.estimates o with
-          | Some (est :: _) -> Fmt.pr "  %-40s %14.1f@." name est
-          | Some [] | None -> Fmt.pr "  %-40s %14s@." name "n/a")
+          | Some (est :: _) ->
+            let per_sec = 1e9 /. est in
+            Fmt.pr "  %-45s %14.1f %14.1f@." name est per_sec;
+            rows := (name, est, per_sec, wall) :: !rows
+          | Some [] | None -> Fmt.pr "  %-45s %14s@." name "n/a")
         results)
-    tests
+    tests;
+  let rows = List.rev !rows in
+  (* compiled-vs-interpreted speedups, from this run's own numbers *)
+  List.iter
+    (fun (name, ns, _, _) ->
+      match List.assoc_opt (name ^ "-compiled") (List.map (fun (n, e, _, _) -> (n, e)) rows) with
+      | Some ns_c when ns_c > 0.0 ->
+        Fmt.pr "  %-45s %13.2fx@." (name ^ " speedup") (ns /. ns_c)
+      | _ -> ())
+    rows;
+  if json then begin
+    let oc = open_out "BENCH_sim.json" in
+    let pr fmt = Printf.fprintf oc fmt in
+    pr "[\n";
+    List.iteri
+      (fun i (name, ns, per_sec, wall) ->
+        pr "  {\"name\": %S, \"ns_per_run\": %.1f, \"paths_per_sec\": %.1f, \"wall_s\": %.3f}%s\n"
+          name ns per_sec wall
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    pr "]\n";
+    close_out oc;
+    Fmt.pr "  wrote BENCH_sim.json (%d kernels)@." (List.length rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -407,7 +466,7 @@ let all =
   [ "table1"; "fig5"; "gps"; "epsilon"; "parallel"; "lumping"; "deadlock";
     "rare"; "safety"; "micro" ]
 
-let run = function
+let run ~quick ~json = function
   | "table1" -> table1 ()
   | "fig5" -> fig5 ()
   | "gps" -> gps ()
@@ -417,12 +476,15 @@ let run = function
   | "deadlock" -> deadlock ()
   | "rare" -> rare ()
   | "safety" -> safety ()
-  | "micro" -> micro ()
+  | "micro" -> micro ~quick ~json ()
   | other -> failwith ("unknown experiment: " ^ other)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "--json") args in
   let selected = if args = [] then all else args in
-  List.iter run selected;
+  List.iter (run ~quick ~json) selected;
   line ();
   Fmt.pr "done.@."

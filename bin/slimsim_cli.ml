@@ -165,15 +165,55 @@ let simulate_cmd =
       value & flag
       & info [ "deadlock-error" ]
           ~doc:"Abort on dead/timelocks instead of falsifying the property.")
+  and engine =
+    let engine_conv =
+      let parse = function
+        | "compiled" -> Ok `Compiled
+        | "interpreted" -> Ok `Interpreted
+        | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+      in
+      let print ppf = function
+        | `Compiled -> Fmt.string ppf "compiled"
+        | `Interpreted -> Fmt.string ppf "interpreted"
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt engine_conv `Compiled
+      & info [ "engine" ]
+          ~doc:
+            "Simulation core: the staged $(b,compiled) engine (default) or \
+             the reference $(b,interpreted) one; both produce identical \
+             estimates for a given seed.")
+  and on_error =
+    let policy_conv =
+      let parse = function
+        | "abort" -> Ok `Abort
+        | "unsat" -> Ok `Unsat
+        | s -> Error (`Msg (Printf.sprintf "unknown error policy %S" s))
+      in
+      let print ppf = function
+        | `Abort -> Fmt.string ppf "abort"
+        | `Unsat -> Fmt.string ppf "unsat"
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value & opt policy_conv `Abort
+      & info [ "on-error" ]
+          ~doc:
+            "What a path-level error does: $(b,abort) the run (default) or \
+             count the path as $(b,unsat) and keep sampling.")
   in
-  let run file prop strategy delta eps workers generator deadlock_error seed
-      no_lint =
+  let run file prop strategy delta eps workers generator deadlock_error engine
+      on_error seed no_lint =
     let m = or_die (load file) in
     advisory_lint ~no_lint file m;
     let on_deadlock = if deadlock_error then `Error else `Falsify in
     match
-      S.check ~workers ~seed ~generator ~on_deadlock m ~property:prop ~strategy
-        ~delta ~eps ()
+      S.check ~workers ~seed ~generator ~on_deadlock ~engine ~on_error m
+        ~property:prop ~strategy ~delta ~eps ()
     with
     | Ok r -> Fmt.pr "%a@." S.pp_estimate r
     | Error e ->
@@ -184,7 +224,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Monte Carlo estimation of a timed reachability property")
     Term.(
       const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
-      $ generator $ deadlock_error $ seed_arg $ no_lint_arg)
+      $ generator $ deadlock_error $ engine $ on_error $ seed_arg $ no_lint_arg)
 
 (* --- exact --- *)
 

@@ -34,17 +34,20 @@ type estimate = {
   paths : int;
   successes : int;
   deadlock_paths : int;
+  violated_paths : int;
+  errors : int;
   wall_seconds : float;
 }
 
 let check ?workers ?seed ?(generator = Generator.Chernoff)
-    ?(on_deadlock = `Falsify) (m : model) ~property ~strategy ~delta ~eps () =
+    ?(on_deadlock = `Falsify) ?engine ?on_error (m : model) ~property ~strategy
+    ~delta ~eps () =
   let* goal, hold, horizon, complement = parse_pattern_full m property in
   let gen = Generator.create generator ~delta ~eps in
   let config = { (Path.default_config ~horizon) with Path.on_deadlock } in
   match
-    Engine.run ?workers ?seed ~config ?hold m.Loader.network ~goal ~horizon
-      ~strategy ~generator:gen ()
+    Engine.run ?workers ?seed ~config ?engine ?on_error ?hold m.Loader.network
+      ~goal ~horizon ~strategy ~generator:gen ()
   with
   | Ok r ->
     (* invariance patterns report the complement; "successes" keeps
@@ -62,6 +65,8 @@ let check ?workers ?seed ?(generator = Generator.Chernoff)
         paths = r.Engine.paths;
         successes = r.Engine.successes;
         deadlock_paths = r.Engine.deadlock_paths;
+        violated_paths = r.Engine.violated_paths;
+        errors = r.Engine.errors;
         wall_seconds = r.Engine.wall_seconds;
       }
   | Error e -> Error (Path.error_to_string e)
@@ -132,7 +137,9 @@ let dot_network (m : model) = Slimsim_sta.Dot.network m.Loader.network
 let pp_estimate ppf e =
   Fmt.pf ppf "p = %.6f in [%.6f, %.6f] (%d/%d paths, %d dead/timelocked, %.2fs)"
     e.probability e.ci_low e.ci_high e.successes e.paths e.deadlock_paths
-    e.wall_seconds
+    e.wall_seconds;
+  if e.violated_paths > 0 then Fmt.pf ppf " (%d hold-violated)" e.violated_paths;
+  if e.errors > 0 then Fmt.pf ppf " (%d errored)" e.errors
 
 let pp_exact ppf e =
   Fmt.pf ppf "p = %.9f (%d states, %d after lumping, %.2fs)" e.exact_probability

@@ -53,6 +53,10 @@ type estimate = {
   paths : int;
   successes : int;
   deadlock_paths : int;
+  violated_paths : int;
+      (** bounded-until checks: paths on which the hold condition failed
+          before the goal was reached *)
+  errors : int;  (** errored paths fed as failures ([`Unsat] policy) *)
   wall_seconds : float;
 }
 
@@ -61,6 +65,8 @@ val check :
   ?seed:int64 ->
   ?generator:Generator.kind ->
   ?on_deadlock:[ `Error | `Falsify ] ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  ?on_error:[ `Abort | `Unsat ] ->
   model ->
   property:string ->
   strategy:Strategy.t ->
@@ -69,7 +75,9 @@ val check :
   unit ->
   (estimate, string) result
 (** Monte Carlo estimation (the paper's tool).  [generator] defaults to
-    the Chernoff–Hoeffding bound. *)
+    the Chernoff–Hoeffding bound; [engine] to the staged compiled core
+    (bit-identical to the [`Interpreted] reference); [on_error] to
+    aborting the run on the first path-level error. *)
 
 type exact = {
   exact_probability : float;

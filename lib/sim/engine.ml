@@ -9,17 +9,32 @@ type result = {
   paths : int;
   successes : int;
   deadlock_paths : int;
+  violated_paths : int;
   errors : int;
   wall_seconds : float;
 }
 
-type tally = { mutable deadlocks : int }
+type tally = {
+  mutable deadlocks : int;
+  mutable violated : int;
+  mutable errors : int;
+}
+
+let new_tally () = { deadlocks = 0; violated = 0; errors = 0 }
 
 let feed_outcome gen tally v =
   (match v with
   | Path.Unsat_deadlock | Path.Unsat_timelock -> tally.deadlocks <- tally.deadlocks + 1
-  | Path.Sat _ | Path.Unsat_horizon | Path.Unsat_violated _ -> ());
+  | Path.Unsat_violated _ -> tally.violated <- tally.violated + 1
+  | Path.Sat _ | Path.Unsat_horizon -> ());
   Generator.feed gen (match v with Path.Sat _ -> true | _ -> false)
+
+(* An errored path under the [`Unsat] policy is counted and fed as a
+   failure (conservative for reachability estimates: it can only lower
+   the estimated probability). *)
+let feed_error gen tally =
+  tally.errors <- tally.errors + 1;
+  Generator.feed gen false
 
 let finish gen tally wall =
   let est = Generator.estimator gen in
@@ -31,23 +46,48 @@ let finish gen tally wall =
     paths = Estimator.trials est;
     successes = Estimator.successes est;
     deadlock_paths = tally.deadlocks;
-    errors = 0;
+    violated_paths = tally.violated;
+    errors = tally.errors;
     wall_seconds = wall;
   }
 
-let run_sequential ~seed ~hold cfg net ~goal ~strategy ~generator =
-  let tally = { deadlocks = 0 } in
+(* A runner factory: called once per worker (inside that worker's
+   domain, so per-worker scratch is domain-local), yielding the
+   path-id -> outcome function.  The compiled factory stages the
+   network once and shares the immutable tables across workers. *)
+let make_runner ~engine ~seed ~hold cfg net ~goal ~strategy =
+  match engine with
+  | `Interpreted ->
+    fun () id ->
+      let rng = Rng.for_path ~seed ~path:id in
+      fst (Path.generate ~hold net cfg strategy rng ~goal)
+  | `Compiled ->
+    let c = Slimsim_sta.Compiled.compile net in
+    let q = Path.compile_query ~hold c ~goal in
+    fun () ->
+      let s = Slimsim_sta.Compiled.scratch c in
+      fun id ->
+        let rng = Rng.for_path ~seed ~path:id in
+        Path.generate_compiled c s q cfg strategy rng
+
+let run_sequential ~on_error ~generator make_runner =
+  let tally = new_tally () in
   let t0 = Unix.gettimeofday () in
+  let runner = make_runner () in
   let rec go i =
     if not (Generator.needs_more generator) then
       Ok (finish generator tally (Unix.gettimeofday () -. t0))
     else
-      let rng = Rng.for_path ~seed ~path:i in
-      match fst (Path.generate ~hold net cfg strategy rng ~goal) with
+      match runner i with
       | Ok v ->
         feed_outcome generator tally v;
         go (i + 1)
-      | Error e -> Error e
+      | Error e -> (
+        match on_error with
+        | `Abort -> Error e
+        | `Unsat ->
+          feed_error generator tally;
+          go (i + 1))
   in
   go 0
 
@@ -57,9 +97,9 @@ let run_sequential ~seed ~hold cfg net ~goal ~strategy ~generator =
    balanced collection of [22] — the sample stream seen by the
    (possibly sequential) statistical generator is a deterministic
    function of the seed, independent of scheduling and of [k]. *)
-let run_parallel ~workers:k ~seed ~hold cfg net ~goal ~strategy ~generator =
+let run_parallel ~workers:k ~on_error ~generator make_runner =
   let t0 = Unix.gettimeofday () in
-  let tally = { deadlocks = 0 } in
+  let tally = new_tally () in
   let stop = Atomic.make false in
   let mutex = Mutex.create () in
   let cond = Condition.create () in
@@ -67,12 +107,12 @@ let run_parallel ~workers:k ~seed ~hold cfg net ~goal ~strategy ~generator =
   let max_buffer = 256 in
   let limit = Generator.planned_samples generator in
   let worker w () =
+    let runner = make_runner () in
     let rec go id =
       let exhausted = match limit with Some n -> id >= n | None -> false in
       if exhausted || Atomic.get stop then ()
       else begin
-        let rng = Rng.for_path ~seed ~path:id in
-        let outcome = fst (Path.generate ~hold net cfg strategy rng ~goal) in
+        let outcome = runner id in
         Mutex.lock mutex;
         while Queue.length queues.(w) >= max_buffer && not (Atomic.get stop) do
           Condition.wait cond mutex
@@ -113,13 +153,18 @@ let run_parallel ~workers:k ~seed ~hold cfg net ~goal ~strategy ~generator =
       | Some (Ok v) ->
         feed_outcome generator tally v;
         next := (!next + 1) mod k
-      | Some (Error e) ->
-        failure := Some e;
-        Mutex.lock mutex;
-        Atomic.set stop true;
-        Condition.broadcast cond;
-        Mutex.unlock mutex;
-        running := false
+      | Some (Error e) -> (
+        match on_error with
+        | `Unsat ->
+          feed_error generator tally;
+          next := (!next + 1) mod k
+        | `Abort ->
+          failure := Some e;
+          Mutex.lock mutex;
+          Atomic.set stop true;
+          Condition.broadcast cond;
+          Mutex.unlock mutex;
+          running := false)
     end
   done;
   Array.iter Domain.join domains;
@@ -127,27 +172,37 @@ let run_parallel ~workers:k ~seed ~hold cfg net ~goal ~strategy ~generator =
   | Some e -> Error e
   | None -> Ok (finish generator tally (Unix.gettimeofday () -. t0))
 
-let run ?(workers = 1) ?(seed = 0x51135113L) ?config
-    ?(hold = Slimsim_sta.Expr.true_) net ~goal ~horizon ~strategy ~generator () =
+let run ?(workers = 1) ?(seed = 0x51135113L) ?config ?(engine = `Compiled)
+    ?(on_error = `Abort) ?(hold = Slimsim_sta.Expr.true_) net ~goal ~horizon
+    ~strategy ~generator () =
   let cfg =
     match config with
     | Some c -> { c with Path.horizon }
     | None -> Path.default_config ~horizon
   in
-  if workers <= 1 then run_sequential ~seed ~hold cfg net ~goal ~strategy ~generator
+  (* Scripts are stateful user callbacks observing immutable states:
+     they need the interpreter (and a single worker). *)
+  let engine =
+    match strategy with Strategy.Scripted _ -> `Interpreted | _ -> engine
+  in
+  let make = make_runner ~engine ~seed ~hold cfg net ~goal ~strategy in
+  if workers <= 1 then run_sequential ~on_error ~generator make
   else
     match strategy with
     | Strategy.Scripted _ ->
       Error (Path.Model_error "scripted strategies require workers = 1")
-    | _ -> run_parallel ~workers ~seed ~hold cfg net ~goal ~strategy ~generator
+    | _ -> run_parallel ~workers ~on_error ~generator make
 
-let estimate ?workers ?seed ?config ?hold net ~goal ~horizon ~strategy ~delta ~eps
-    () =
+let estimate ?workers ?seed ?config ?engine ?on_error ?hold net ~goal ~horizon
+    ~strategy ~delta ~eps () =
   let generator = Generator.create Generator.Chernoff ~delta ~eps in
-  run ?workers ?seed ?config ?hold net ~goal ~horizon ~strategy ~generator ()
+  run ?workers ?seed ?config ?engine ?on_error ?hold net ~goal ~horizon ~strategy
+    ~generator ()
 
 let pp_result ppf r =
   Fmt.pf ppf
     "p = %.6f  [%.6f, %.6f]  (%d/%d paths, %d dead/timelocked, %.2fs)"
     r.probability r.ci_low r.ci_high r.successes r.paths r.deadlock_paths
-    r.wall_seconds
+    r.wall_seconds;
+  if r.violated_paths > 0 then Fmt.pf ppf " (%d hold-violated)" r.violated_paths;
+  if r.errors > 0 then Fmt.pf ppf " (%d errored)" r.errors

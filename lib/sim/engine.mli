@@ -6,7 +6,9 @@
     samples are consumed in path order (via buffered round-robin
     collection in the parallel case), so an estimate is a deterministic
     function of [(model, property, strategy, generator, seed)] —
-    independent of the number of workers. *)
+    independent of the number of workers, and of the engine: the
+    compiled engine (the default) is bit-identical to the interpreted
+    reference. *)
 
 open Slimsim_sta
 
@@ -17,7 +19,10 @@ type result = {
   paths : int;
   successes : int;
   deadlock_paths : int;  (** paths falsified by dead/timelock (§III-D) *)
-  errors : int;  (** paths aborted by an error policy or model error *)
+  violated_paths : int;
+      (** until properties: paths falsified because the hold condition
+          failed before the goal *)
+  errors : int;  (** errored paths counted as failures ([`Unsat] policy) *)
   wall_seconds : float;
 }
 
@@ -25,6 +30,8 @@ val run :
   ?workers:int ->
   ?seed:int64 ->
   ?config:Path.config ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  ?on_error:[ `Abort | `Unsat ] ->
   ?hold:Expr.t ->
   Network.t ->
   goal:Expr.t ->
@@ -34,14 +41,21 @@ val run :
   unit ->
   (result, Path.error) Result.t
 (** [workers = 1] (the default) runs in-process; [workers > 1] spawns
-    that many domains.  A path error under the [`Error] deadlock policy
-    aborts the whole run.  Scripted strategies are restricted to
-    [workers = 1] (scripts are stateful user callbacks). *)
+    that many domains.  [engine] selects the staged compiled core
+    ([`Compiled], the default) or the reference interpreter; scripted
+    strategies always use the interpreter and are restricted to
+    [workers = 1] (scripts are stateful user callbacks).  [on_error]
+    decides what a path-level error does: [`Abort] (default) stops the
+    whole run with that error; [`Unsat] counts the path in
+    [result.errors] and feeds it to the generator as a failure — a
+    conservative reading for reachability probabilities. *)
 
 val estimate :
   ?workers:int ->
   ?seed:int64 ->
   ?config:Path.config ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  ?on_error:[ `Abort | `Unsat ] ->
   ?hold:Expr.t ->
   Network.t ->
   goal:Expr.t ->

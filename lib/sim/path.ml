@@ -378,6 +378,217 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
   in
   (result, List.rev !steps)
 
+(* ------------------------------------------------------------------ *)
+(* Compiled path generation: the same step loop as [generate_weighted]
+   (bias 1, no recording) driven by the staged tables of
+   [Slimsim_sta.Compiled] on a mutable per-worker scratch state.  Every
+   float operation and every RNG draw happens in the same order as in
+   the interpreter, so the verdict stream is bit-identical for a fixed
+   seed; [test/test_compiled.ml] enforces this. *)
+
+type compiled_query = { q_goal : Compiled.formula; q_hold : Compiled.formula }
+
+let compile_query ?(hold = Expr.true_) c ~goal =
+  {
+    q_goal = Compiled.compile_formula c goal;
+    q_hold = Compiled.compile_formula c hold;
+  }
+
+(* Mirror of [until_crossing] over the scratch state; the endpoint
+   fallback for non-linear formulas runs on the trial buffer. *)
+let until_crossing_c c s q ~eps ~cap =
+  if cap < 0.0 then None
+  else begin
+    let window = I.inter (I.at_least 0.0) (I.at_most cap) in
+    let sat_or_endpoint (f : Compiled.formula) =
+      match f.Compiled.f_sat s with
+      | set -> I.inter set window
+      | exception Linear.Nonlinear _ ->
+        if Compiled.eval_bool_after c s ~cap f.Compiled.f_bool then I.point cap
+        else I.empty
+    in
+    let b_set = sat_or_endpoint q.q_goal in
+    let v_set =
+      if q.q_hold.Compiled.f_trivial then I.empty
+      else I.diff (I.inter (I.complement (sat_or_endpoint q.q_hold)) window) b_set
+    in
+    let base = Compiled.time s in
+    match I.first_point ~eps b_set, I.first_point ~eps v_set with
+    | Some tb, Some tv ->
+      if tb <= tv then Some (Sat (base +. tb)) else Some (Unsat_violated (base +. tv))
+    | Some tb, None -> Some (Sat (base +. tb))
+    | None, Some tv -> Some (Unsat_violated (base +. tv))
+    | None, None -> None
+  end
+
+let generate_compiled c s q cfg strategy rng =
+  match strategy with
+  | Strategy.Scripted _ ->
+    Error (Model_error "scripted strategies require the interpreted engine")
+  | (Strategy.Asap | Strategy.Progressive | Strategy.Local | Strategy.Max_time) as
+    strategy -> (
+    let eps = cfg.eps_nudge in
+    let dead kind msg =
+      match cfg.on_deadlock with
+      | `Error -> raise (Bail (Deadlock_error msg))
+      | `Falsify -> kind
+    in
+    try
+      Compiled.reset c s;
+      let step_n = ref 0 in
+      let zero_advances = ref 0 in
+      let verdict = ref None in
+      while !verdict = None do
+        if !step_n > cfg.max_steps then raise (Bail Step_limit);
+        incr step_n;
+        if q.q_goal.Compiled.f_bool s then verdict := Some (Sat (Compiled.time s))
+        else if
+          (not q.q_hold.Compiled.f_trivial) && not (q.q_hold.Compiled.f_bool s)
+        then verdict := Some (Unsat_violated (Compiled.time s))
+        else begin
+          let remaining = cfg.horizon -. Compiled.time s in
+          if remaining < 0.0 then verdict := Some Unsat_horizon
+          else begin
+            Compiled.set_rates c s;
+            let inv_win = Compiled.invariant_window c s in
+            if I.is_empty inv_win then
+              verdict :=
+                Some (dead Unsat_timelock "invariant violated with no escape")
+            else begin
+              let timed = Compiled.discrete c s inv_win in
+              let markov = Compiled.markovian c s in
+              let race =
+                match markov with
+                | [] -> None
+                | _ ->
+                  let buf = Compiled.markov_buf s in
+                  let n = ref 0 in
+                  List.iter
+                    (fun (_, _, r) ->
+                      buf.(!n) <- r;
+                      incr n)
+                    markov;
+                  Dist.exponential_race_n rng ~rates:buf ~n:!n
+              in
+              let inv_unbounded = I.sup inv_win = I.Pos_inf in
+              let d_disc =
+                match timed with
+                | [] -> None
+                | _ -> (
+                  match strategy with
+                  | Strategy.Asap ->
+                    timed
+                    |> List.filter_map (fun tm -> I.first_point ~eps tm.Moves.window)
+                    |> List.fold_left Float.min infinity
+                    |> fun d -> if d = infinity then None else Some d
+                  | Strategy.Progressive ->
+                    let w =
+                      List.fold_left
+                        (fun acc tm -> I.union acc tm.Moves.window)
+                        I.empty timed
+                    in
+                    let w =
+                      if I.is_bounded w then w else I.clamp_above remaining w
+                    in
+                    I.sample_uniform (Rng.below rng) w
+                  | Strategy.Local ->
+                    let w =
+                      if I.is_bounded inv_win then inv_win
+                      else I.clamp_above remaining inv_win
+                    in
+                    I.sample_uniform (Rng.below rng) w
+                  | Strategy.Max_time ->
+                    if inv_unbounded then Some (remaining +. 1.0)
+                    else I.last_point_below ~eps infinity inv_win
+                  | Strategy.Scripted _ -> assert false)
+              in
+              let exp_candidate =
+                match race with
+                | Some (idx, t) when I.mem t inv_win ->
+                  let p, tr, _ = List.nth markov idx in
+                  Some (p, tr, t)
+                | _ -> None
+              in
+              let decision =
+                match d_disc, exp_candidate with
+                | None, None ->
+                  if timed = [] && markov = [] then
+                    if inv_unbounded then
+                      Give_up
+                        (dead Unsat_deadlock "no transition will ever be enabled")
+                    else
+                      Give_up
+                        (dead Unsat_timelock
+                           "invariant stops time with no enabled transition")
+                  else if timed = [] && markov <> [] then
+                    if inv_unbounded then Give_up Unsat_horizon
+                    else
+                      Give_up
+                        (dead Unsat_timelock
+                           "rate transition scheduled past an invariant deadline")
+                  else Give_up Unsat_horizon
+                | Some d, None -> Fire_disc d
+                | None, Some (p, tr, t) -> Fire_markov_tr (p, tr, t)
+                | Some d, Some (p, tr, t) ->
+                  if t < d then Fire_markov_tr (p, tr, t) else Fire_disc d
+              in
+              match decision with
+              | Give_up v ->
+                let v =
+                  if v = Unsat_horizon then
+                    let cap =
+                      match I.sup inv_win with
+                      | I.Fin (b, _) -> Float.min b remaining
+                      | _ -> remaining
+                    in
+                    match until_crossing_c c s q ~eps ~cap with
+                    | Some v' -> v'
+                    | None -> v
+                  else v
+                in
+                verdict := Some v
+              | Advance_only _ -> assert false (* scripted only *)
+              | Fire_markov_tr (p, tr, d) -> (
+                match until_crossing_c c s q ~eps ~cap:(Float.min d remaining) with
+                | Some v -> verdict := Some v
+                | None ->
+                  if d > remaining then verdict := Some Unsat_horizon
+                  else begin
+                    Compiled.apply c s ~delay:d (Moves.Local { proc = p; tr });
+                    zero_advances := 0
+                  end)
+              | Fire_disc d -> (
+                match until_crossing_c c s q ~eps ~cap:(Float.min d remaining) with
+                | Some v -> verdict := Some v
+                | None ->
+                  if d > remaining then verdict := Some Unsat_horizon
+                  else begin
+                    match Compiled.enabled_after c s d timed with
+                    | [] ->
+                      if d <= 0.0 then begin
+                        incr zero_advances;
+                        if !zero_advances > 1000 then
+                          raise
+                            (Bail
+                               (Model_error
+                                  "no progress: enabled window is degenerate"))
+                      end;
+                      Compiled.advance c s d
+                    | moves ->
+                      let move = Dist.uniform_choice rng moves in
+                      Compiled.apply c s ~delay:d move;
+                      zero_advances := 0
+                  end)
+            end
+          end
+        end
+      done;
+      Ok (Option.get !verdict)
+    with
+    | Bail e -> Error e
+    | Value.Type_error msg -> Error (Model_error ("type error: " ^ msg))
+    | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg)))
+
 let generate ?record ?hold net cfg strategy rng ~goal =
   let result, steps = generate_weighted ?record ?hold net cfg strategy rng ~goal in
   (Result.map fst result, steps)

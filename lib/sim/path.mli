@@ -85,5 +85,32 @@ val generate_weighted :
     leaves the embedded chain unchanged and only inflates the weight
     variance). *)
 
+(** {1 Compiled path generation}
+
+    The same step loop driven by the staged run-time representation of
+    {!Slimsim_sta.Compiled}: expressions are closures, move candidates
+    come from per-location tables, and the state is a mutable per-worker
+    scratch.  Draw-for-draw and float-for-float identical to
+    {!generate}, so the verdict stream matches bit-for-bit on any fixed
+    seed; only [Scripted] strategies are unsupported (they observe
+    immutable states). *)
+
+type compiled_query
+(** A goal/hold pair compiled against a network. *)
+
+val compile_query : ?hold:Expr.t -> Compiled.t -> goal:Expr.t -> compiled_query
+
+val generate_compiled :
+  Compiled.t ->
+  Compiled.cstate ->
+  compiled_query ->
+  config ->
+  Strategy.t ->
+  Slimsim_stats.Rng.t ->
+  (verdict, error) result
+(** Run one path on the scratch state (reset first; the caller owns the
+    scratch and may reuse it across paths of one worker).  Returns
+    [Model_error] for [Scripted] strategies. *)
+
 val verdict_to_string : verdict -> string
 val error_to_string : error -> string

@@ -1,0 +1,942 @@
+(* Staged compilation of an STA network (the UPPAAL-style "compiled
+   run-time representation"): expressions become closures, per-location
+   move tables are precomputed, and simulation runs on a mutable
+   per-worker scratch state instead of immutable snapshots.
+
+   The compiled core is semantically locked to the interpreter
+   (Expr.eval / Linear.sat_set / State / Moves): every float operation
+   is performed in the same order with the same primitives, so a
+   compiled path produces a bit-identical verdict stream for a fixed
+   seed.  The one documented deviation: integer arithmetic feeding a
+   comparison is carried in doubles, so integers beyond 2^53 would
+   diverge (SLIM integers are small), and the *message* carried by a
+   [Value.Type_error] from an ill-typed model may differ (the exception
+   itself, and hence the verdict/error stream, does not). *)
+
+module I = Slimsim_intervals.Interval_set
+
+(* ------------------------------------------------------------------ *)
+(* Scratch state                                                      *)
+
+type cstate = {
+  mutable locs : int array;
+  mutable vals : Value.t array;
+      (* authoritative for variable [v] unless [ftag.(v)] is set *)
+  mutable fval : float array;
+      (* unboxed numeric store; authoritative where [ftag] is set *)
+  mutable ftag : Bytes.t;
+  rates : float array;  (* current derivative vector, see [set_rates] *)
+  time : float array;  (* singleton cell: flat float array = unboxed *)
+  (* double buffers for trial execution ([enabled_after] lookahead) *)
+  mutable spare_locs : int array;
+  mutable spare_vals : Value.t array;
+  mutable spare_fval : float array;
+  mutable spare_ftag : Bytes.t;
+  saved_time : float array;
+  markov_buf : float array;  (* scratch for the exponential race *)
+  was_active : Bytes.t;
+}
+
+let time s = s.time.(0)
+let markov_buf s = s.markov_buf
+
+let vtrue = Value.Bool true
+let vfalse = Value.Bool false
+let vbool b = if b then vtrue else vfalse
+
+(* [vals]/[fval] coherence: a delay advance writes the unboxed cell and
+   sets the tag; a generic read materializes the box once and clears the
+   tag; a discrete write stores the box and clears the tag. *)
+
+let get_v s v =
+  if Bytes.unsafe_get s.ftag v = '\001' then begin
+    let b = Value.Real (Array.unsafe_get s.fval v) in
+    s.vals.(v) <- b;
+    Bytes.unsafe_set s.ftag v '\000';
+    b
+  end
+  else Array.unsafe_get s.vals v
+
+let get_f s v =
+  if Bytes.unsafe_get s.ftag v = '\001' then Array.unsafe_get s.fval v
+  else Value.as_float (Array.unsafe_get s.vals v)
+
+let set_v s v x =
+  s.vals.(v) <- x;
+  Bytes.unsafe_set s.ftag v '\000'
+
+let set_f s v x =
+  Array.unsafe_set s.fval v x;
+  Bytes.unsafe_set s.ftag v '\001'
+
+let cstate_of ~locs ~vals ~rates ~time =
+  let n = Array.length vals in
+  {
+    locs = Array.copy locs;
+    vals = Array.copy vals;
+    fval = Array.make n 0.0;
+    ftag = Bytes.make n '\000';
+    rates = Array.copy rates;
+    time = [| time |];
+    spare_locs = Array.copy locs;
+    spare_vals = Array.copy vals;
+    spare_fval = Array.make n 0.0;
+    spare_ftag = Bytes.make n '\000';
+    saved_time = [| time |];
+    markov_buf = [||];
+    was_active = Bytes.make (Array.length locs) '\000';
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                             *)
+
+type cvalue = cstate -> Value.t
+type cbool = cstate -> bool
+type cfloat = cstate -> float
+type csat = cstate -> I.t
+
+(* Static shape of an expression's result, used to pick unboxed
+   specializations only where they provably agree with [Expr.eval]. *)
+type shape = Sbool | Snum | Sunknown
+
+let rec shape : Expr.t -> shape = function
+  | Const (Value.Bool _) -> Sbool
+  | Const (Value.Int _ | Value.Real _) -> Snum
+  | Var _ -> Sunknown
+  | Loc _ -> Sbool
+  | Unop (Not, _) -> Sbool
+  | Unop (Neg, _) -> Snum
+  | Binop ((And | Or | Implies | Eq | Neq | Lt | Le | Gt | Ge), _, _) -> Sbool
+  | Binop ((Add | Sub | Mul | Div | Mod | Min | Max), _, _) -> Snum
+  | Ite (_, a, b) -> (
+    match shape a, shape b with
+    | Sbool, Sbool -> Sbool
+    | Snum, Snum -> Snum
+    | _ -> Sunknown)
+
+(* True when the expression, if it evaluates to a number at all, is a
+   [Real] — the condition under which float division agrees with
+   [Value.div] (which is integer division on two [Int]s). *)
+let rec definitely_real : Expr.t -> bool = function
+  | Const (Value.Real _) -> true
+  | Const _ | Var _ | Loc _ -> false
+  | Unop (Neg, e) -> definitely_real e
+  | Unop (Not, _) -> false
+  | Binop ((Add | Sub | Mul | Div), e1, e2) ->
+    definitely_real e1 || definitely_real e2
+  | Binop ((Min | Max), e1, e2) -> definitely_real e1 && definitely_real e2
+  | Binop ((Mod | And | Or | Implies | Eq | Neq | Lt | Le | Gt | Ge), _, _) ->
+    false
+  | Ite (_, a, b) -> definitely_real a && definitely_real b
+
+let rec compile_value (e : Expr.t) : cvalue =
+  match e with
+  | Const v -> fun _ -> v
+  | Var v -> fun s -> get_v s v
+  | Loc (p, l) -> fun s -> vbool (s.locs.(p) = l)
+  | Unop (Neg, e1) ->
+    let c = compile_value e1 in
+    fun s -> Value.neg (c s)
+  | Unop (Not, e1) ->
+    let c = compile_bool e1 in
+    fun s -> vbool (not (c s))
+  | Binop (And, _, _) | Binop (Or, _, _) | Binop (Implies, _, _)
+  | Binop (Eq, _, _) | Binop (Neq, _, _)
+  | Binop (Lt, _, _) | Binop (Le, _, _) | Binop (Gt, _, _) | Binop (Ge, _, _) ->
+    let c = compile_bool e in
+    fun s -> vbool (c s)
+  | Binop (op, e1, e2) ->
+    let c1 = compile_value e1 and c2 = compile_value e2 in
+    let f =
+      match op with
+      | Add -> Value.add
+      | Sub -> Value.sub
+      | Mul -> Value.mul
+      | Div -> Value.div
+      | Mod -> Value.modulo
+      | Min -> Value.min_v
+      | Max -> Value.max_v
+      | _ -> assert false
+    in
+    fun s ->
+      let v1 = c1 s in
+      let v2 = c2 s in
+      f v1 v2
+  | Ite (c, e1, e2) ->
+    let cc = compile_bool c and c1 = compile_value e1 and c2 = compile_value e2 in
+    fun s -> if cc s then c1 s else c2 s
+
+and compile_bool (e : Expr.t) : cbool =
+  match e with
+  | Const (Value.Bool b) -> fun _ -> b
+  | Const v -> fun _ -> Value.as_bool v
+  | Var v -> fun s -> Value.as_bool (get_v s v)
+  | Loc (p, l) -> fun s -> s.locs.(p) = l
+  | Unop (Not, e1) ->
+    let c = compile_bool e1 in
+    fun s -> not (c s)
+  | Unop (Neg, _) ->
+    let c = compile_value e in
+    fun s -> Value.as_bool (c s)
+  | Binop (And, e1, e2) ->
+    let c1 = compile_bool e1 and c2 = compile_bool e2 in
+    fun s -> c1 s && c2 s
+  | Binop (Or, e1, e2) ->
+    let c1 = compile_bool e1 and c2 = compile_bool e2 in
+    fun s -> c1 s || c2 s
+  | Binop (Implies, e1, e2) ->
+    let c1 = compile_bool e1 and c2 = compile_bool e2 in
+    fun s -> (not (c1 s)) || c2 s
+  | Binop ((Eq | Neq) as op, e1, e2) -> (
+    let neg = op = Neq in
+    match shape e1, shape e2 with
+    | Sbool, Sbool ->
+      let c1 = compile_bool e1 and c2 = compile_bool e2 in
+      if neg then fun s -> c1 s <> c2 s else fun s -> c1 s = c2 s
+    | Snum, Snum ->
+      let c1 = compile_float e1 and c2 = compile_float e2 in
+      if neg then fun s -> c1 s <> c2 s else fun s -> c1 s = c2 s
+    | _ ->
+      let c1 = compile_value e1 and c2 = compile_value e2 in
+      if neg then fun s ->
+        let v1 = c1 s in
+        let v2 = c2 s in
+        not (Value.equal v1 v2)
+      else fun s ->
+        let v1 = c1 s in
+        let v2 = c2 s in
+        Value.equal v1 v2)
+  | Binop ((Lt | Le | Gt | Ge) as op, e1, e2) ->
+    let c1 = compile_float e1 and c2 = compile_float e2 in
+    (* [Float.compare] matches [Value.compare_num]'s total order (it
+       falls back to polymorphic compare on floats, incl. NaN). *)
+    (match op with
+    | Lt -> fun s ->
+        let x = c1 s in
+        let y = c2 s in
+        Float.compare x y < 0
+    | Le -> fun s ->
+        let x = c1 s in
+        let y = c2 s in
+        Float.compare x y <= 0
+    | Gt -> fun s ->
+        let x = c1 s in
+        let y = c2 s in
+        Float.compare x y > 0
+    | Ge -> fun s ->
+        let x = c1 s in
+        let y = c2 s in
+        Float.compare x y >= 0
+    | _ -> assert false)
+  | Binop ((Add | Sub | Mul | Div | Mod | Min | Max), _, _) ->
+    let c = compile_value e in
+    fun s -> Value.as_bool (c s)
+  | Ite (c, e1, e2) ->
+    let cc = compile_bool c and c1 = compile_bool e1 and c2 = compile_bool e2 in
+    fun s -> if cc s then c1 s else c2 s
+
+and compile_float (e : Expr.t) : cfloat =
+  match e with
+  | Const (Value.Int n) ->
+    let x = float_of_int n in
+    fun _ -> x
+  | Const (Value.Real x) -> fun _ -> x
+  | Const v -> fun _ -> Value.as_float v
+  | Var v -> fun s -> get_f s v
+  | Loc _ ->
+    let c = compile_bool e in
+    fun s -> Value.as_float (vbool (c s))
+  | Unop (Neg, e1) when definitely_real e1 ->
+    let c = compile_float e1 in
+    fun s -> -.(c s)
+  | Unop (Neg, _) ->
+    (* A possibly-[Int] operand: [Value.neg (Int 0)] is [+0.0] where the
+       float negate would give [-0.0]. *)
+    let c = compile_value e in
+    fun s -> Value.as_float (c s)
+  | Unop (Not, _)
+  | Binop ((And | Or | Implies | Eq | Neq | Lt | Le | Gt | Ge), _, _) ->
+    let c = compile_bool e in
+    fun s -> Value.as_float (vbool (c s))
+  | Binop (Add, e1, e2) ->
+    let c1 = compile_float e1 and c2 = compile_float e2 in
+    fun s ->
+      let x = c1 s in
+      let y = c2 s in
+      x +. y
+  | Binop (Sub, e1, e2) ->
+    let c1 = compile_float e1 and c2 = compile_float e2 in
+    fun s ->
+      let x = c1 s in
+      let y = c2 s in
+      x -. y
+  | Binop (Mul, e1, e2) when definitely_real e1 || definitely_real e2 ->
+    let c1 = compile_float e1 and c2 = compile_float e2 in
+    fun s ->
+      let x = c1 s in
+      let y = c2 s in
+      x *. y
+  | Binop (Mul, _, _) ->
+    (* Two possibly-[Int] operands: [Int 0 * Int (-1)] is [+0.0] where
+       the float product would give [-0.0]. *)
+    let c = compile_value e in
+    fun s -> Value.as_float (c s)
+  | Binop (Div, e1, e2) when definitely_real e1 || definitely_real e2 ->
+    let c1 = compile_float e1 and c2 = compile_float e2 in
+    fun s ->
+      let x = c1 s in
+      let y = c2 s in
+      if y = 0.0 then raise (Value.Type_error "division by zero") else x /. y
+  | Binop ((Div | Mod), _, _) ->
+    (* Two possibly-[Int] operands: integer division/modulo semantics. *)
+    let c = compile_value e in
+    fun s -> Value.as_float (c s)
+  | Binop (Min, e1, e2) ->
+    let c1 = compile_float e1 and c2 = compile_float e2 in
+    fun s ->
+      let x = c1 s in
+      let y = c2 s in
+      if Float.compare x y <= 0 then x else y
+  | Binop (Max, e1, e2) ->
+    let c1 = compile_float e1 and c2 = compile_float e2 in
+    fun s ->
+      let x = c1 s in
+      let y = c2 s in
+      if Float.compare x y >= 0 then x else y
+  | Ite (c, e1, e2) ->
+    let cc = compile_bool c and c1 = compile_float e1 and c2 = compile_float e2 in
+    fun s -> if cc s then c1 s else c2 s
+
+(* Staged [Linear.eval_sym] / [Linear.sat_set]: the delay-dependent
+   symbolic evaluation with the AST dispatch done once. *)
+and compile_sym (e : Expr.t) : cstate -> Linear.sval =
+  match e with
+  | Const v -> fun _ -> Linear.Disc v
+  | Var v ->
+    fun s ->
+      let r = s.rates.(v) in
+      if r = 0.0 then Linear.Disc (get_v s v)
+      else Linear.Num { a = get_f s v; b = r }
+  | Loc (p, l) -> fun s -> Linear.Disc (vbool (s.locs.(p) = l))
+  | Unop (Neg, e1) ->
+    let c = compile_sym e1 in
+    fun s ->
+      (match c s with
+      | Linear.Disc v -> Linear.Disc (Value.neg v)
+      | Linear.Num { a; b } -> Linear.Num { a = -.a; b = -.b })
+  | Unop (Not, _) | Binop ((And | Or | Implies | Eq | Neq | Lt | Le | Gt | Ge), _, _)
+    ->
+    let c = compile_value e in
+    fun s -> Linear.Disc (c s)
+  | Binop (Add, e1, e2) -> compile_lift2 ( +. ) Value.add e1 e2
+  | Binop (Sub, e1, e2) -> compile_lift2 ( -. ) Value.sub e1 e2
+  | Binop (Mul, e1, e2) ->
+    let c1 = compile_sym e1 and c2 = compile_sym e2 in
+    fun s ->
+      let s1 = c1 s in
+      let s2 = c2 s in
+      (match s1, s2 with
+      | Linear.Disc v1, Linear.Disc v2 -> Linear.Disc (Value.mul v1 v2)
+      | Linear.Num l, Linear.Disc v | Linear.Disc v, Linear.Num l ->
+        let c = Value.as_float v in
+        Linear.Num { a = l.a *. c; b = l.b *. c }
+      | Linear.Num l1, Linear.Num l2 ->
+        if l1.b = 0.0 then Linear.Num { a = l1.a *. l2.a; b = l1.a *. l2.b }
+        else if l2.b = 0.0 then Linear.Num { a = l1.a *. l2.a; b = l2.a *. l1.b }
+        else raise (Linear.Nonlinear "product of two delay-dependent terms"))
+  | Binop (Div, e1, e2) ->
+    let c1 = compile_sym e1 and c2 = compile_sym e2 in
+    fun s ->
+      let s1 = c1 s in
+      let s2 = c2 s in
+      (match s2 with
+      | Linear.Disc v2 when not (Value.is_numeric v2) ->
+        Linear.Disc (Value.div (Value.Real 0.0) v2) (* raises the type error *)
+      | Linear.Disc v2 -> (
+        let c = Value.as_float v2 in
+        if c = 0.0 then raise (Value.Type_error "division by zero")
+        else
+          match s1 with
+          | Linear.Disc v1 -> Linear.Disc (Value.div v1 v2)
+          | Linear.Num l -> Linear.Num { a = l.a /. c; b = l.b /. c })
+      | Linear.Num l2 ->
+        if l2.b = 0.0 then begin
+          (* [Linear] restages with a [Real l2.a] divisor; inline it. *)
+          let c = l2.a in
+          if c = 0.0 then raise (Value.Type_error "division by zero")
+          else
+            match s1 with
+            | Linear.Disc v1 -> Linear.Disc (Value.div v1 (Value.Real c))
+            | Linear.Num l -> Linear.Num { a = l.a /. c; b = l.b /. c }
+        end
+        else raise (Linear.Nonlinear "division by a delay-dependent term"))
+  | Binop (Mod, e1, e2) ->
+    let c1 = compile_sym e1 and c2 = compile_sym e2 in
+    fun s ->
+      let s1 = c1 s in
+      let s2 = c2 s in
+      (match s1, s2 with
+      | Linear.Disc v1, Linear.Disc v2 -> Linear.Disc (Value.modulo v1 v2)
+      | _ -> raise (Linear.Nonlinear "mod of a delay-dependent term"))
+  | Binop ((Min | Max) as op, e1, e2) ->
+    let c1 = compile_sym e1 and c2 = compile_sym e2 in
+    let f = if op = Min then Value.min_v else Value.max_v in
+    fun s ->
+      let s1 = c1 s in
+      let s2 = c2 s in
+      (match s1, s2 with
+      | Linear.Disc v1, Linear.Disc v2 -> Linear.Disc (f v1 v2)
+      | _ -> raise (Linear.Nonlinear "min/max of a delay-dependent term"))
+  | Ite (c, e1, e2) ->
+    let cc = compile_sat c and c1 = compile_sym e1 and c2 = compile_sym e2 in
+    fun s ->
+      let cset = cc s in
+      if I.equal cset I.full then c1 s
+      else if I.is_empty cset then c2 s
+      else raise (Linear.Nonlinear "if-then-else condition depends on the delay")
+
+and compile_lift2 fop vop e1 e2 =
+  let c1 = compile_sym e1 and c2 = compile_sym e2 in
+  fun s ->
+    let s1 = c1 s in
+    let s2 = c2 s in
+    match s1, s2 with
+    | Linear.Disc v1, Linear.Disc v2 -> Linear.Disc (vop v1 v2)
+    | _ ->
+      let l1 = Linear.promote s1 and l2 = Linear.promote s2 in
+      Linear.Num { a = fop l1.Linear.a l2.Linear.a; b = fop l1.Linear.b l2.Linear.b }
+
+and compile_sat (e : Expr.t) : csat =
+  match e with
+  | Const (Value.Bool true) -> fun _ -> I.full
+  | Const (Value.Bool false) -> fun _ -> I.empty
+  | Const v -> fun _ -> if Value.as_bool v then I.full else I.empty
+  | Var _ | Loc _ ->
+    let c = compile_bool e in
+    fun s -> if c s then I.full else I.empty
+  | Unop (Not, e1) ->
+    let c = compile_sat e1 in
+    fun s -> I.complement (c s)
+  | Unop (Neg, _) ->
+    fun _ -> raise (Value.Type_error "numeric expression used as a guard")
+  | Binop (And, e1, e2) ->
+    let c1 = compile_sat e1 and c2 = compile_sat e2 in
+    fun s ->
+      let s1 = c1 s in
+      let s2 = c2 s in
+      I.inter s1 s2
+  | Binop (Or, e1, e2) ->
+    let c1 = compile_sat e1 and c2 = compile_sat e2 in
+    fun s ->
+      let s1 = c1 s in
+      let s2 = c2 s in
+      I.union s1 s2
+  | Binop (Implies, e1, e2) ->
+    let c1 = compile_sat e1 and c2 = compile_sat e2 in
+    fun s ->
+      let s1 = c1 s in
+      let s2 = c2 s in
+      I.union (I.complement s1) s2
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge) as op, e1, e2) ->
+    let c1 = compile_sym e1 and c2 = compile_sym e2 in
+    fun s ->
+      let s1 = c1 s in
+      let s2 = c2 s in
+      (match s1, s2 with
+      | Linear.Disc v1, Linear.Disc v2 ->
+        let holds =
+          match op with
+          | Eq -> Value.equal v1 v2
+          | Neq -> not (Value.equal v1 v2)
+          | Lt -> Value.compare_num v1 v2 < 0
+          | Le -> Value.compare_num v1 v2 <= 0
+          | Gt -> Value.compare_num v1 v2 > 0
+          | Ge -> Value.compare_num v1 v2 >= 0
+          | _ -> assert false
+        in
+        if holds then I.full else I.empty
+      | _ ->
+        let l1 = Linear.promote s1 and l2 = Linear.promote s2 in
+        Linear.solve_cmp op
+          { Linear.a = l1.Linear.a -. l2.Linear.a; b = l1.Linear.b -. l2.Linear.b })
+  | Binop ((Add | Sub | Mul | Div | Mod | Min | Max), _, _) ->
+    fun _ -> raise (Value.Type_error "numeric expression used as a guard")
+  | Ite (c, e1, e2) ->
+    let cc = compile_sat c and c1 = compile_sat e1 and c2 = compile_sat e2 in
+    fun s ->
+      let cset = cc s in
+      let s1 = c1 s in
+      let s2 = c2 s in
+      I.union (I.inter cset s1) (I.inter (I.complement cset) s2)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled network tables                                            *)
+
+type ctrans = {
+  tr_id : int;  (* index into [Automaton.transitions], for [Moves] parity *)
+  t_dst : int;
+  t_guard : csat;
+  t_rate : float;  (* 0 for guarded transitions *)
+  t_updates : (int * cvalue) array;
+}
+
+type cloc = {
+  inv_trivial : bool;
+  inv_sat : csat;
+  inv_bool : cbool;
+  l_derivs : (int * float) array;
+  tau : ctrans array;  (* guarded τ transitions, in outgoing order *)
+  by_event : ctrans array array;  (* guarded event transitions, per event *)
+  markov : ctrans array;  (* rate transitions, in outgoing order *)
+}
+
+type cproc = {
+  active_trivial : bool;
+  active : cbool;
+  p_initial : int;
+  p_trans : ctrans array;  (* all transitions, indexed by [tr_id] *)
+  p_locs : cloc array;
+  p_restart : bool;
+  p_owned : int array;
+}
+
+type t = {
+  net : Network.t;
+  cprocs : cproc array;
+  cflows : (int * cvalue) array;
+  inits : Value.t array;
+  clocks : (int * int) array;  (* (var, owner + 1); 0 = unowned *)
+  n_vars : int;
+  n_procs : int;
+}
+
+let network c = c.net
+
+let compile (net : Network.t) : t =
+  let n_events = Array.length net.events in
+  let compile_updates ups =
+    Array.of_list (List.map (fun (v, e) -> (v, compile_value e)) ups)
+  in
+  let trivially_full : csat = fun _ -> I.full in
+  let no_candidates : ctrans array array = Array.make (max n_events 1) [||] in
+  let cprocs =
+    Array.mapi
+      (fun p (proc : Automaton.t) ->
+        let meta = net.meta.(p) in
+        let p_trans =
+          Array.mapi
+            (fun i (tr : Automaton.transition) ->
+                 {
+                   tr_id = i;
+                   t_dst = tr.Automaton.dst;
+                   t_guard =
+                     (match tr.Automaton.guard with
+                     | Automaton.Guard g -> compile_sat g
+                     | Automaton.Rate _ -> trivially_full);
+                   t_rate =
+                     (match tr.Automaton.guard with
+                     | Automaton.Rate r -> r
+                     | Automaton.Guard _ -> 0.0);
+                   t_updates = compile_updates tr.Automaton.updates;
+                 })
+            proc.transitions
+        in
+        let p_locs =
+          Array.mapi
+            (fun l (loc : Automaton.location) ->
+              let out = proc.outgoing.(l) in
+              let pick f =
+                Array.of_list
+                  (List.filter_map
+                     (fun ti ->
+                       let tr = proc.transitions.(ti) in
+                       if f tr then Some p_trans.(ti) else None)
+                     out)
+              in
+              let tau =
+                pick (fun tr ->
+                    match tr.Automaton.label, tr.Automaton.guard with
+                    | Automaton.Tau, Automaton.Guard _ -> true
+                    | _ -> false)
+              in
+              let markov =
+                pick (fun tr ->
+                    match tr.Automaton.guard with
+                    | Automaton.Rate _ -> true
+                    | Automaton.Guard _ -> false)
+              in
+              let has_events =
+                List.exists
+                  (fun ti ->
+                    match proc.transitions.(ti).Automaton.label with
+                    | Automaton.Event _ -> true
+                    | Automaton.Tau -> false)
+                  out
+              in
+              let by_event =
+                if not has_events then no_candidates
+                else
+                  Array.init n_events (fun e ->
+                      pick (fun tr ->
+                          match tr.Automaton.label, tr.Automaton.guard with
+                          | Automaton.Event e', Automaton.Guard _ -> e' = e
+                          | _ -> false))
+              in
+              {
+                inv_trivial = loc.Automaton.invariant = Expr.true_;
+                inv_sat = compile_sat loc.Automaton.invariant;
+                inv_bool = compile_bool loc.Automaton.invariant;
+                l_derivs = Array.of_list loc.Automaton.derivs;
+                tau;
+                by_event;
+                markov;
+              })
+            proc.locations
+        in
+        {
+          active_trivial = meta.Network.active_when = Expr.true_;
+          active = compile_bool meta.Network.active_when;
+          p_initial = proc.Automaton.initial_loc;
+          p_trans;
+          p_locs;
+          p_restart = meta.Network.reactivation = Network.Restart;
+          p_owned = Array.of_list meta.Network.owned_vars;
+        })
+      net.procs
+  in
+  {
+    net;
+    cprocs;
+    cflows =
+      Array.map (fun (f : Network.flow) -> (f.target, compile_value f.expr)) net.flows;
+    inits = Array.map (fun (v : Network.var_info) -> v.Network.init) net.vars;
+    clocks =
+      Array.of_list
+        (List.filter_map
+           (fun (v, (info : Network.var_info)) ->
+             match info.kind with
+             | Network.Clock ->
+               Some (v, match info.owner with None -> 0 | Some p -> p + 1)
+             | Network.Discrete | Network.Continuous -> None)
+           (List.mapi (fun v info -> (v, info)) (Array.to_list net.vars)));
+    n_vars = Array.length net.vars;
+    n_procs = Array.length net.procs;
+  }
+
+let proc_active c s p =
+  let cp = c.cprocs.(p) in
+  cp.active_trivial || cp.active s
+
+(* ------------------------------------------------------------------ *)
+(* Scratch-state operations (allocation-free per step)                *)
+
+let scratch c =
+  let n = c.n_vars in
+  let n_markov =
+    Array.fold_left
+      (fun acc cp ->
+        acc + Array.fold_left (fun a cl -> a + Array.length cl.markov) 0 cp.p_locs)
+      0 c.cprocs
+  in
+  {
+    locs = Array.make (max c.n_procs 1) 0;
+    vals = Array.make (max n 1) vfalse;
+    fval = Array.make (max n 1) 0.0;
+    ftag = Bytes.make (max n 1) '\000';
+    rates = Array.make (max n 1) 0.0;
+    time = [| 0.0 |];
+    spare_locs = Array.make (max c.n_procs 1) 0;
+    spare_vals = Array.make (max n 1) vfalse;
+    spare_fval = Array.make (max n 1) 0.0;
+    spare_ftag = Bytes.make (max n 1) '\000';
+    saved_time = [| 0.0 |];
+    markov_buf = Array.make (max n_markov 1) 0.0;
+    was_active = Bytes.make (max c.n_procs 1) '\000';
+  }
+
+let apply_flows c s =
+  let flows = c.cflows in
+  for i = 0 to Array.length flows - 1 do
+    let target, ce = flows.(i) in
+    set_v s target (ce s)
+  done
+
+let reset c s =
+  for p = 0 to c.n_procs - 1 do
+    s.locs.(p) <- c.cprocs.(p).p_initial
+  done;
+  Array.blit c.inits 0 s.vals 0 c.n_vars;
+  Bytes.fill s.ftag 0 c.n_vars '\000';
+  s.time.(0) <- 0.0;
+  apply_flows c s
+
+(* Mirrors [State.rate_array]: clocks of active owners tick at 1, then
+   location-specific derivatives of active processes override. *)
+let set_rates c s =
+  Array.fill s.rates 0 c.n_vars 0.0;
+  let clocks = c.clocks in
+  for i = 0 to Array.length clocks - 1 do
+    let v, owner = clocks.(i) in
+    if owner = 0 || proc_active c s (owner - 1) then s.rates.(v) <- 1.0
+  done;
+  for p = 0 to c.n_procs - 1 do
+    let cp = c.cprocs.(p) in
+    if cp.active_trivial || cp.active s then begin
+      let derivs = cp.p_locs.(s.locs.(p)).l_derivs in
+      for i = 0 to Array.length derivs - 1 do
+        let v, r = derivs.(i) in
+        s.rates.(v) <- r
+      done
+    end
+  done
+
+(* Requires [s.rates] to hold the rate vector of the current state
+   (callers refresh it once per step with [set_rates]). *)
+let advance c s d =
+  if d <> 0.0 then begin
+    for v = 0 to c.n_vars - 1 do
+      let r = s.rates.(v) in
+      if r <> 0.0 then set_f s v (get_f s v +. (r *. d))
+    done;
+    s.time.(0) <- s.time.(0) +. d
+  end
+
+let apply_updates s (ups : (int * cvalue) array) =
+  for i = 0 to Array.length ups - 1 do
+    let v, ce = ups.(i) in
+    set_v s v (ce s)
+  done
+
+let restart_proc c s p =
+  let cp = c.cprocs.(p) in
+  s.locs.(p) <- cp.p_initial;
+  let owned = cp.p_owned in
+  for i = 0 to Array.length owned - 1 do
+    let v = owned.(i) in
+    set_v s v c.inits.(v)
+  done
+
+(* Trial execution: flip to the double buffer, run, flip back.  Depth-1
+   only (no nesting); [s.rates] is deliberately shared, it belongs to
+   the pre-trial state. *)
+let begin_trial c s =
+  Array.blit s.locs 0 s.spare_locs 0 c.n_procs;
+  Array.blit s.vals 0 s.spare_vals 0 c.n_vars;
+  Array.blit s.fval 0 s.spare_fval 0 c.n_vars;
+  Bytes.blit s.ftag 0 s.spare_ftag 0 c.n_vars;
+  s.saved_time.(0) <- s.time.(0);
+  let l = s.locs and v = s.vals and f = s.fval and t = s.ftag in
+  s.locs <- s.spare_locs;
+  s.vals <- s.spare_vals;
+  s.fval <- s.spare_fval;
+  s.ftag <- s.spare_ftag;
+  s.spare_locs <- l;
+  s.spare_vals <- v;
+  s.spare_fval <- f;
+  s.spare_ftag <- t
+
+let end_trial s =
+  let l = s.locs and v = s.vals and f = s.fval and t = s.ftag in
+  s.locs <- s.spare_locs;
+  s.vals <- s.spare_vals;
+  s.fval <- s.spare_fval;
+  s.ftag <- s.spare_ftag;
+  s.spare_locs <- l;
+  s.spare_vals <- v;
+  s.spare_fval <- f;
+  s.spare_ftag <- t;
+  s.time.(0) <- s.saved_time.(0)
+
+let eval_bool_after c s ~cap (f : cbool) =
+  begin_trial c s;
+  let r = try Ok (advance c s cap; f s) with e -> Error e in
+  end_trial s;
+  match r with Ok b -> b | Error e -> raise e
+
+(* ------------------------------------------------------------------ *)
+(* Moves (mirrors [Moves], table-driven)                              *)
+
+let nonneg = I.at_least 0.0
+
+let invariant_window c s =
+  let inv_set = ref I.full in
+  for p = 0 to c.n_procs - 1 do
+    let cp = c.cprocs.(p) in
+    if cp.active_trivial || cp.active s then begin
+      let cl = cp.p_locs.(s.locs.(p)) in
+      if not cl.inv_trivial then inv_set := I.inter !inv_set (cl.inv_sat s)
+    end
+  done;
+  match I.component_at 0.0 (I.inter !inv_set nonneg) with
+  | None -> I.empty
+  | Some iv -> I.make iv.I.lo iv.I.hi
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+    let tails = cartesian rest in
+    List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let discrete c s inv_win =
+  if I.is_empty inv_win then []
+  else begin
+    let moves = ref [] in
+    (* Local τ moves, in process then outgoing order. *)
+    for p = 0 to c.n_procs - 1 do
+      let cp = c.cprocs.(p) in
+      if cp.active_trivial || cp.active s then begin
+        let tau = cp.p_locs.(s.locs.(p)).tau in
+        for i = 0 to Array.length tau - 1 do
+          let tr = tau.(i) in
+          let w = I.inter inv_win (tr.t_guard s) in
+          if not (I.is_empty w) then
+            moves :=
+              { Moves.move = Moves.Local { proc = p; tr = tr.tr_id }; window = w }
+              :: !moves
+        done
+      end
+    done;
+    (* Multiway synchronizations. *)
+    Array.iteri
+      (fun e parts ->
+        let active_parts = List.filter (fun p -> proc_active c s p) parts in
+        if active_parts <> [] then begin
+          let per_proc =
+            List.map
+              (fun p ->
+                let cands = c.cprocs.(p).p_locs.(s.locs.(p)).by_event.(e) in
+                let cs =
+                  Array.fold_right
+                    (fun tr acc ->
+                      let w = I.inter inv_win (tr.t_guard s) in
+                      if I.is_empty w then acc else (tr.tr_id, w) :: acc)
+                    cands []
+                in
+                (p, cs))
+              active_parts
+          in
+          if List.for_all (fun (_, cs) -> cs <> []) per_proc then
+            let combos =
+              cartesian
+                (List.map (fun (p, cs) -> List.map (fun c -> (p, c)) cs) per_proc)
+            in
+            List.iter
+              (fun combo ->
+                let w =
+                  List.fold_left (fun acc (_, (_, wi)) -> I.inter acc wi) inv_win
+                    combo
+                in
+                if not (I.is_empty w) then
+                  let parts = List.map (fun (p, (ti, _)) -> (p, ti)) combo in
+                  moves :=
+                    { Moves.move = Moves.Sync { event = e; parts }; window = w }
+                    :: !moves)
+              combos
+        end)
+      c.net.Network.participants;
+    List.rev !moves
+  end
+
+let markovian c s =
+  let out = ref [] in
+  for p = 0 to c.n_procs - 1 do
+    let cp = c.cprocs.(p) in
+    if cp.active_trivial || cp.active s then begin
+      let markov = cp.p_locs.(s.locs.(p)).markov in
+      for i = 0 to Array.length markov - 1 do
+        let tr = markov.(i) in
+        out := (p, tr.tr_id, tr.t_rate) :: !out
+      done
+    end
+  done;
+  List.rev !out
+
+let invariants_hold c s =
+  let ok = ref true in
+  for p = 0 to c.n_procs - 1 do
+    let cp = c.cprocs.(p) in
+    if !ok && (cp.active_trivial || cp.active s) then begin
+      let cl = cp.p_locs.(s.locs.(p)) in
+      if (not cl.inv_trivial) && not (cl.inv_bool s) then ok := false
+    end
+  done;
+  !ok
+
+(* Mirrors [Moves.apply]: advance, updates (participant order), location
+   switches, flows, reactivation restarts, flows again. *)
+let apply c s ?(delay = 0.0) (move : Moves.move) =
+  advance c s delay;
+  for p = 0 to c.n_procs - 1 do
+    Bytes.set s.was_active p (if proc_active c s p then '\001' else '\000')
+  done;
+  (match move with
+  | Moves.Local { proc; tr } ->
+    let ct = c.cprocs.(proc).p_trans.(tr) in
+    apply_updates s ct.t_updates;
+    s.locs.(proc) <- ct.t_dst
+  | Moves.Sync { parts; _ } ->
+    List.iter
+      (fun (p, ti) -> apply_updates s c.cprocs.(p).p_trans.(ti).t_updates)
+      parts;
+    List.iter (fun (p, ti) -> s.locs.(p) <- c.cprocs.(p).p_trans.(ti).t_dst) parts);
+  apply_flows c s;
+  for p = 0 to c.n_procs - 1 do
+    if
+      Bytes.get s.was_active p = '\000'
+      && proc_active c s p
+      && c.cprocs.(p).p_restart
+    then restart_proc c s p
+  done;
+  apply_flows c s
+
+let enabled_after c s d timed_moves =
+  List.filter_map
+    (fun { Moves.move; window } ->
+      if I.mem d window then begin
+        begin_trial c s;
+        let r =
+          try Ok (apply c s ~delay:d move; invariants_hold c s)
+          with e -> Error e
+        in
+        end_trial s;
+        match r with
+        | Ok true -> Some move
+        | Ok false -> None
+        | Error e -> raise e
+      end
+      else None)
+    timed_moves
+
+(* ------------------------------------------------------------------ *)
+(* Formulas (goal / hold properties)                                  *)
+
+type formula = {
+  f_expr : Expr.t;
+  f_trivial : bool;  (* the formula is literally [true] *)
+  f_bool : cbool;
+  f_sat : csat;
+}
+
+let compile_formula _c e =
+  {
+    f_expr = e;
+    f_trivial = e = Expr.true_;
+    f_bool = compile_bool e;
+    f_sat = compile_sat e;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Interop with the immutable reference representation               *)
+
+let to_state c s : State.t =
+  {
+    State.locs = Array.sub s.locs 0 c.n_procs;
+    vals = Array.init c.n_vars (fun v -> get_v s v);
+    time = s.time.(0);
+  }
+
+let of_state c s (st : State.t) =
+  Array.blit st.State.locs 0 s.locs 0 c.n_procs;
+  Array.blit st.State.vals 0 s.vals 0 c.n_vars;
+  Bytes.fill s.ftag 0 c.n_vars '\000';
+  s.time.(0) <- st.State.time

@@ -14,6 +14,20 @@ exception Nonlinear of string
 
 type lin = { a : float; b : float }  (** the affine function [a + b·d] *)
 
+type sval = Num of lin | Disc of Value.t
+(** A symbolic result: either an affine function of the delay or a
+    delay-invariant value.  Exposed so that the staged compiler
+    ({!Compiled}) shares the exact semantics of this interpreter. *)
+
+val promote : sval -> lin
+(** Coerce to affine form; [Value.Type_error] on a Boolean. *)
+
+val const_lin : float -> lin
+
+val solve_cmp : Expr.binop -> lin -> Slimsim_intervals.Interval_set.t
+(** [solve_cmp op l] is the solution set of [l.a + l.b·d ⋈ 0] for the
+    comparison [op] ([Eq]/[Neq]/[Lt]/[Le]/[Gt]/[Ge] only). *)
+
 val eval_num :
   env:(int -> Value.t) ->
   rate:(int -> float) ->

@@ -31,3 +31,22 @@ let exponential_race rng ~rates =
     let t = exponential rng ~rate:total in
     let i = categorical rng ~weights:rates in
     Some (i, t)
+
+let exponential_race_n rng ~rates ~n =
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. rates.(i)
+  done;
+  let total = !total in
+  if total <= 0.0 then None
+  else begin
+    let t = exponential rng ~rate:total in
+    let r = Rng.below rng total in
+    let rec pick i acc =
+      if i >= n - 1 then n - 1
+      else
+        let acc = acc +. rates.(i) in
+        if r < acc then i else pick (i + 1) acc
+    in
+    Some (pick 0 0.0, t)
+  end

@@ -18,3 +18,8 @@ val exponential_race : Rng.t -> rates:float array -> (int * float) option
     holding time [Exp(sum rates)] and picks entry [i] with probability
     [rates.(i) / sum].  [None] when every rate is zero or the array is
     empty. *)
+
+val exponential_race_n : Rng.t -> rates:float array -> n:int -> (int * float) option
+(** [exponential_race] restricted to the first [n] entries of a (reused)
+    buffer; draw-for-draw identical to [exponential_race] on
+    [Array.sub rates 0 n], without the allocation. *)

@@ -8,6 +8,7 @@ let () =
       ("props", Test_props.suite);
       ("translate", Test_translate.suite);
       ("sim", Test_sim.suite);
+      ("compiled", Test_compiled.suite);
       ("ctmc", Test_ctmc.suite);
       ("safety", Test_safety.suite);
       ("analyze", Test_analyze.suite);

@@ -546,6 +546,35 @@ let test_engine_worker_independence () =
   Alcotest.(check bool) "2 workers agree" true (run 2 = sequential);
   Alcotest.(check bool) "3 workers agree" true (run 3 = sequential)
 
+let test_engine_parallel_determinism () =
+  (* The §III-C contract, for both fixed-size and sequential stopping
+     rules: the estimate is a function of the seed alone, whatever the
+     worker count.  Chow–Robbins is the interesting case — its stopping
+     decision is taken sample by sample, so it only holds because the
+     collector consumes buffers in path order. *)
+  let net = load Slimsim_models.Gps.source in
+  let g = goal net Slimsim_models.Gps.goal_no_fix in
+  List.iter
+    (fun kind ->
+      let run workers =
+        let generator = Generator.create kind ~delta:0.1 ~eps:0.15 in
+        match
+          Engine.run ~workers ~seed:29L net ~goal:g ~horizon:100.0
+            ~strategy:Strategy.Progressive ~generator ()
+        with
+        | Ok r -> (r.Engine.probability, r.Engine.paths, r.Engine.successes)
+        | Error e -> Alcotest.fail (Path.error_to_string e)
+      in
+      let name = Generator.kind_to_string kind in
+      let sequential = run 1 in
+      Alcotest.(check bool)
+        (name ^ ": 2 workers match 1") true
+        (run 2 = sequential);
+      Alcotest.(check bool)
+        (name ^ ": 4 workers match 1") true
+        (run 4 = sequential))
+    [ Generator.Chernoff; Generator.Chow_robbins ]
+
 let test_engine_scripted_needs_one_worker () =
   let net = load Slimsim_models.Gps.nominal_only in
   let g = goal net "measurement" in
@@ -612,6 +641,7 @@ let suite =
     Alcotest.test_case "deadlock counting" `Quick test_engine_deadlock_counting;
     Alcotest.test_case "seed determinism" `Quick test_engine_seed_determinism;
     Alcotest.test_case "worker independence" `Slow test_engine_worker_independence;
+    Alcotest.test_case "parallel determinism" `Slow test_engine_parallel_determinism;
     Alcotest.test_case "scripted needs one worker" `Quick test_engine_scripted_needs_one_worker;
     Alcotest.test_case "confidence interval" `Quick test_engine_ci_contains_estimate;
     Alcotest.test_case "importance sampling unbiased" `Quick test_importance_sampling_unbiased;
