@@ -205,26 +205,122 @@ let simulate_cmd =
           ~doc:
             "What a path-level error does: $(b,abort) the run (default) or \
              count the path as $(b,unsat) and keep sampling.")
+  and max_steps =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Watchdog: classify a path as diverged after $(docv) steps.")
+  and max_sim_time =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-sim-time" ] ~docv:"T"
+          ~doc:
+            "Watchdog: classify a path as diverged once its simulated time \
+             exceeds $(docv) (independently of the property horizon).")
+  and max_wall_per_path =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-wall-per-path" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog: classify a path as diverged after $(docv) wall-clock \
+             seconds.  Unlike the step and simulated-time budgets this makes \
+             the verdict machine-dependent; prefer it only as a last-resort \
+             liveness guarantee.")
+  and on_divergence =
+    let divergence_conv =
+      let parse s =
+        Slimsim_sim.Supervisor.divergence_policy_of_string s
+        |> Result.map_error (fun e -> `Msg e)
+      in
+      let print ppf p =
+        Fmt.string ppf (Slimsim_sim.Supervisor.divergence_policy_to_string p)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value & opt divergence_conv `Abort
+      & info [ "on-divergence" ]
+          ~doc:
+            "What a diverged (watchdog-expired) path does: $(b,abort) the run \
+             (default), count it as $(b,unsat) (conservative), or $(b,drop) \
+             it and re-plan the sample count.")
+  and checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically persist campaign state (seed, path cursor, \
+             estimator counters) to $(docv), atomically via tmp-file + \
+             rename, and once more on exit.")
+  and checkpoint_every =
+    Arg.(
+      value & opt int 10_000
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint after every $(docv) consumed paths.")
+  and resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the --checkpoint file if it exists (fresh start \
+             otherwise).  The resumed campaign reaches the same verdict \
+             stream and final estimate as an uninterrupted run.")
   in
   let run file prop strategy delta eps workers generator deadlock_error engine
-      on_error seed no_lint =
+      on_error seed no_lint max_steps max_sim_time max_wall_per_path
+      on_divergence checkpoint checkpoint_every resume =
     let m = or_die (load file) in
     advisory_lint ~no_lint file m;
     let on_deadlock = if deadlock_error then `Error else `Falsify in
+    if resume && checkpoint = None then begin
+      prerr_endline "slimsim: --resume requires --checkpoint FILE";
+      exit 1
+    end;
+    let checkpoint =
+      Option.map
+        (fun file -> { Slimsim_sim.Supervisor.file; every = checkpoint_every })
+        checkpoint
+    in
+    let supervisor =
+      Slimsim_sim.Supervisor.create ~on_divergence ?checkpoint ~resume ()
+    in
+    Slimsim_sim.Supervisor.install_signal_handlers supervisor;
     match
-      S.check ~workers ~seed ~generator ~on_deadlock ~engine ~on_error m
+      S.check ~workers ~seed ~generator ~on_deadlock ~engine ~on_error
+        ~supervisor ~max_steps ?max_sim_time ?max_wall_per_path m
         ~property:prop ~strategy ~delta ~eps ()
     with
-    | Ok r -> Fmt.pr "%a@." S.pp_estimate r
+    | Ok r ->
+      Fmt.pr "%a@." S.pp_estimate r;
+      if r.S.interrupted then begin
+        Fmt.epr
+          "slimsim: interrupted after %d paths; achieved half-width %.6f \
+           (requested %g)@."
+          r.S.paths
+          ((r.S.ci_high -. r.S.ci_low) /. 2.0)
+          eps;
+        exit 4
+      end
     | Error e ->
       prerr_endline e;
       exit 1
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Monte Carlo estimation of a timed reachability property")
+    (Cmd.info "simulate"
+       ~doc:
+         "Monte Carlo estimation of a timed reachability property.  Exit \
+          status: 0 converged, 1 aborted (path error, divergence under \
+          --on-divergence abort, or unusable input), 4 interrupted \
+          (SIGINT/SIGTERM; a partial estimate with its achieved confidence \
+          was printed).")
     Term.(
       const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
-      $ generator $ deadlock_error $ engine $ on_error $ seed_arg $ no_lint_arg)
+      $ generator $ deadlock_error $ engine $ on_error $ seed_arg $ no_lint_arg
+      $ max_steps $ max_sim_time $ max_wall_per_path $ on_divergence
+      $ checkpoint $ checkpoint_every $ resume)
 
 (* --- exact --- *)
 

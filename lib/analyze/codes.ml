@@ -14,6 +14,7 @@ let unused_declaration = "W003"
 let unsynchronized_event = "W004"
 let uninitialized_read = "W005"
 let divergent_invariant = "W006"
+let unbounded_dwell = "W007"
 let constant_guard = "I001"
 
 let all =
@@ -87,6 +88,16 @@ let all =
         "a mode invariant bound can never become tight given the mode's \
          derivatives (the mode may dwell forever), or it expires with no \
          outgoing transition (a certain time-lock)";
+    };
+    {
+      code = unbounded_dwell;
+      severity = Diagnostic.Warning;
+      title = "unbounded-dwell";
+      summary =
+        "a cycle of locations can be traversed without time advancing: no \
+         invariant bound, exit rate or time-anchored guard forces progress, \
+         so ASAP/progressive simulation may diverge there (consider the \
+         --max-steps / --max-sim-time / --max-wall-per-path watchdogs)";
     };
     {
       code = constant_guard;

@@ -26,4 +26,5 @@ val unused_declaration : string
 val unsynchronized_event : string
 val uninitialized_read : string
 val divergent_invariant : string
+val unbounded_dwell : string
 val constant_guard : string

@@ -123,9 +123,113 @@ let check_reachability ~tables net emit =
       end)
     net.N.procs
 
+(* W007: cycles a simulation can traverse without time advancing.  A
+   location qualifies when nothing at it anchors progress to the clock:
+   its invariant puts no bound on a variable that actually moves there,
+   and it has no exponential exit.  An edge qualifies when it is a Tau
+   transition whose guard (not literally false) reads no moving
+   variable — such a guard's truth cannot change while time passes, so
+   under ASAP or Progressive the transition fires with delay 0 whenever
+   it is enabled.  A cycle of qualifying edges through qualifying
+   locations can then spin forever at one time instant; only the
+   per-path watchdog budgets bound it at run time.  This is a
+   heuristic: guards over discrete variables may in fact never be
+   enabled, so the cycle may be harmless — hence a warning. *)
+let check_unbounded_dwell net emit =
+  Array.iter
+    (fun (proc : A.t) ->
+      let n = Array.length proc.A.locations in
+      let deriv (loc : A.location) v =
+        match List.assoc_opt v loc.A.derivs with
+        | Some d -> d
+        | None -> (
+          match net.N.vars.(v).N.kind with
+          | N.Clock -> 1.0
+          | N.Discrete | N.Continuous -> 0.0)
+      in
+      (* Does the invariant become false after enough time at [loc]? *)
+      let rec forces_exit loc inv =
+        match inv with
+        | E.Binop (E.And, a, b) -> forces_exit loc a || forces_exit loc b
+        | E.Binop ((E.Le | E.Lt), E.Var v, _)
+        | E.Binop ((E.Ge | E.Gt), _, E.Var v) ->
+          deriv loc v > 0.0
+        | E.Binop ((E.Ge | E.Gt), E.Var v, _)
+        | E.Binop ((E.Le | E.Lt), _, E.Var v) ->
+          deriv loc v < 0.0
+        | E.Binop (E.Eq, E.Var v, _) | E.Binop (E.Eq, _, E.Var v) ->
+          deriv loc v <> 0.0
+        | _ -> false
+      in
+      let reach = A.reachable proc in
+      let qualifies li =
+        let loc = proc.A.locations.(li) in
+        reach.(li)
+        && (not (A.is_markovian_loc proc li))
+        && not (forces_exit loc loc.A.invariant)
+      in
+      (* Tau edges whose guards no delay can flip.  Edges whose updates
+         write a variable their own guard reads are excluded: that is
+         the self-limiting latch idiom ("when p and not seen then
+         seen := true"), which disables itself after firing. *)
+      let timeless_succs li =
+        let loc = proc.A.locations.(li) in
+        List.filter_map
+          (fun ti ->
+            let tr = proc.A.transitions.(ti) in
+            match tr.A.label, tr.A.guard with
+            | A.Tau, A.Guard g
+              when g <> E.Const (V.Bool false)
+                   && (let guard_vars = E.free_vars g in
+                       List.for_all (fun v -> deriv loc v = 0.0) guard_vars
+                       && List.for_all
+                            (fun (v, _) -> not (List.mem v guard_vars))
+                            tr.A.updates) ->
+              Some tr.A.dst
+            | _ -> None)
+          proc.A.outgoing.(li)
+      in
+      let adj =
+        Array.init n (fun li -> if qualifies li then timeless_succs li else [])
+      in
+      (* A location is divergence-prone if a nonempty qualifying path
+         leads back to it.  Location counts are tiny, so a DFS per
+         location is plenty. *)
+      let on_cycle li =
+        let seen = Array.make n false in
+        let rec dfs j =
+          j = li
+          || (not seen.(j))
+             && begin
+               seen.(j) <- true;
+               List.exists dfs (if qualifies j then adj.(j) else [])
+             end
+        in
+        List.exists dfs adj.(li)
+      in
+      let cycle_locs =
+        List.filter on_cycle (List.init n Fun.id)
+        |> List.map (fun li -> proc.A.locations.(li).A.loc_name)
+      in
+      match cycle_locs with
+      | [] -> ()
+      | locs ->
+        emit
+          (warn Codes.unbounded_dwell Ast.no_pos
+             "process %S can cycle through %s without time advancing: no \
+              invariant bound, exit rate or time-anchored guard forces \
+              progress, so ASAP/progressive simulation may diverge; bound \
+              the campaign with --max-steps, --max-sim-time or \
+              --max-wall-per-path (see docs/ROBUSTNESS.md)"
+             proc.A.proc_name
+             (String.concat ", "
+                (List.map (Printf.sprintf "location %S") locs))))
+    net.N.procs
+
 let check ~tables net =
   let out = ref [] in
   let emit d = out := d :: !out in
   check_events net emit;
   check_reachability ~tables net emit;
+  check_unbounded_dwell net emit;
   List.rev !out

@@ -36,18 +36,32 @@ type estimate = {
   deadlock_paths : int;
   violated_paths : int;
   errors : int;
+  diverged_paths : int;
+  dropped_paths : int;
+  worker_restarts : int;
+  interrupted : bool;
   wall_seconds : float;
 }
 
 let check ?workers ?seed ?(generator = Generator.Chernoff)
-    ?(on_deadlock = `Falsify) ?engine ?on_error (m : model) ~property ~strategy
-    ~delta ~eps () =
+    ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor ?max_steps
+    ?max_sim_time ?max_wall_per_path (m : model) ~property ~strategy ~delta
+    ~eps () =
   let* goal, hold, horizon, complement = parse_pattern_full m property in
   let gen = Generator.create generator ~delta ~eps in
-  let config = { (Path.default_config ~horizon) with Path.on_deadlock } in
+  let config =
+    let base = { (Path.default_config ~horizon) with Path.on_deadlock } in
+    {
+      base with
+      Path.max_steps =
+        (match max_steps with Some n -> n | None -> base.Path.max_steps);
+      max_sim_time;
+      max_wall_per_path;
+    }
+  in
   match
-    Engine.run ?workers ?seed ~config ?engine ?on_error ?hold m.Loader.network
-      ~goal ~horizon ~strategy ~generator:gen ()
+    Engine.run ?workers ?seed ~config ?engine ?on_error ?supervisor ?hold
+      m.Loader.network ~goal ~horizon ~strategy ~generator:gen ()
   with
   | Ok r ->
     (* invariance patterns report the complement; "successes" keeps
@@ -67,6 +81,10 @@ let check ?workers ?seed ?(generator = Generator.Chernoff)
         deadlock_paths = r.Engine.deadlock_paths;
         violated_paths = r.Engine.violated_paths;
         errors = r.Engine.errors;
+        diverged_paths = r.Engine.diverged_paths;
+        dropped_paths = r.Engine.dropped_paths;
+        worker_restarts = r.Engine.worker_restarts;
+        interrupted = r.Engine.stopped = Engine.Interrupted;
         wall_seconds = r.Engine.wall_seconds;
       }
   | Error e -> Error (Path.error_to_string e)
@@ -139,7 +157,12 @@ let pp_estimate ppf e =
     e.probability e.ci_low e.ci_high e.successes e.paths e.deadlock_paths
     e.wall_seconds;
   if e.violated_paths > 0 then Fmt.pf ppf " (%d hold-violated)" e.violated_paths;
-  if e.errors > 0 then Fmt.pf ppf " (%d errored)" e.errors
+  if e.errors > 0 then Fmt.pf ppf " (%d errored)" e.errors;
+  if e.diverged_paths > 0 then
+    Fmt.pf ppf " (%d diverged, %d dropped)" e.diverged_paths e.dropped_paths;
+  if e.worker_restarts > 0 then
+    Fmt.pf ppf " (%d worker restarts)" e.worker_restarts;
+  if e.interrupted then Fmt.pf ppf " [interrupted]"
 
 let pp_exact ppf e =
   Fmt.pf ppf "p = %.9f (%d states, %d after lumping, %.2fs)" e.exact_probability

@@ -57,6 +57,13 @@ type estimate = {
       (** bounded-until checks: paths on which the hold condition failed
           before the goal was reached *)
   errors : int;  (** errored paths fed as failures ([`Unsat] policy) *)
+  diverged_paths : int;  (** paths cut off by a watchdog budget *)
+  dropped_paths : int;
+      (** diverged paths discarded and re-planned ([`Drop] policy) *)
+  worker_restarts : int;  (** crashed workers brought back up *)
+  interrupted : bool;
+      (** the run was stopped early (SIGINT/SIGTERM or a supervisor stop
+          request); the interval reflects the achieved confidence *)
   wall_seconds : float;
 }
 
@@ -67,6 +74,10 @@ val check :
   ?on_deadlock:[ `Error | `Falsify ] ->
   ?engine:[ `Compiled | `Interpreted ] ->
   ?on_error:[ `Abort | `Unsat ] ->
+  ?supervisor:Slimsim_sim.Supervisor.t ->
+  ?max_steps:int ->
+  ?max_sim_time:float ->
+  ?max_wall_per_path:float ->
   model ->
   property:string ->
   strategy:Strategy.t ->
@@ -77,7 +88,14 @@ val check :
 (** Monte Carlo estimation (the paper's tool).  [generator] defaults to
     the Chernoff–Hoeffding bound; [engine] to the staged compiled core
     (bit-identical to the [`Interpreted] reference); [on_error] to
-    aborting the run on the first path-level error. *)
+    aborting the run on the first path-level error.
+
+    [supervisor] carries the campaign robustness policies (divergence
+    handling, crash restarts, checkpoint/resume, graceful stop) — see
+    {!Slimsim_sim.Supervisor}; the watchdog budgets [max_steps] (default
+    1_000_000), [max_sim_time] and [max_wall_per_path] classify runaway
+    paths as diverged, and the supervisor's policy decides how those
+    count. *)
 
 type exact = {
   exact_probability : float;

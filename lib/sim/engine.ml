@@ -2,6 +2,8 @@ module Rng = Slimsim_stats.Rng
 module Generator = Slimsim_stats.Generator
 module Estimator = Slimsim_stats.Estimator
 
+type stop_reason = Converged | Interrupted
+
 type result = {
   probability : float;
   ci_low : float;
@@ -11,6 +13,10 @@ type result = {
   deadlock_paths : int;
   violated_paths : int;
   errors : int;
+  diverged_paths : int;
+  dropped_paths : int;
+  worker_restarts : int;
+  stopped : stop_reason;
   wall_seconds : float;
 }
 
@@ -18,25 +24,68 @@ type tally = {
   mutable deadlocks : int;
   mutable violated : int;
   mutable errors : int;
+  mutable diverged : int;
+  mutable dropped : int;
+  mutable restarts : int;
+  mutable consec_dropped : int;
 }
 
-let new_tally () = { deadlocks = 0; violated = 0; errors = 0 }
+let new_tally () =
+  { deadlocks = 0; violated = 0; errors = 0; diverged = 0; dropped = 0;
+    restarts = 0; consec_dropped = 0 }
 
-let feed_outcome gen tally v =
-  (match v with
-  | Path.Unsat_deadlock | Path.Unsat_timelock -> tally.deadlocks <- tally.deadlocks + 1
-  | Path.Unsat_violated _ -> tally.violated <- tally.violated + 1
-  | Path.Sat _ | Path.Unsat_horizon -> ());
-  Generator.feed gen (match v with Path.Sat _ -> true | _ -> false)
+(* Under [`Drop] a campaign whose paths (almost) all diverge would spin
+   forever: nothing is ever fed, so the stopping rule keeps asking.
+   This many dropped samples in a row abort instead. *)
+let drop_stall_limit = 10_000
 
-(* An errored path under the [`Unsat] policy is counted and fed as a
+(* Route one sample through the error and divergence policies.  An
+   errored or diverged path under the [`Unsat] policy is fed as a
    failure (conservative for reachability estimates: it can only lower
-   the estimated probability). *)
-let feed_error gen tally =
-  tally.errors <- tally.errors + 1;
-  Generator.feed gen false
+   the estimated probability); [`Drop] discards the sample without
+   feeding it, so the stopping rule keeps asking for more — the
+   re-planning is implicit in [Generator.needs_more] seeing fewer
+   trials. *)
+let consume ~on_error ~on_divergence gen tally = function
+  | Ok (Path.Diverged d) -> (
+    tally.diverged <- tally.diverged + 1;
+    match on_divergence with
+    | `Abort -> `Abort (Path.Diverged_path d)
+    | `Unsat ->
+      tally.consec_dropped <- 0;
+      Generator.feed gen false;
+      `Fed
+    | `Drop ->
+      tally.dropped <- tally.dropped + 1;
+      tally.consec_dropped <- tally.consec_dropped + 1;
+      if tally.consec_dropped >= drop_stall_limit then
+        `Abort
+          (Path.Model_error
+             (Printf.sprintf
+                "divergence policy `drop': %d consecutive paths diverged; \
+                 the estimate conditioned on non-divergence cannot converge \
+                 (raise the watchdog budgets or use --on-divergence unsat)"
+                tally.consec_dropped))
+      else `Dropped)
+  | Ok v ->
+    tally.consec_dropped <- 0;
+    (match v with
+    | Path.Unsat_deadlock | Path.Unsat_timelock ->
+      tally.deadlocks <- tally.deadlocks + 1
+    | Path.Unsat_violated _ -> tally.violated <- tally.violated + 1
+    | Path.Sat _ | Path.Unsat_horizon | Path.Diverged _ -> ());
+    Generator.feed gen (match v with Path.Sat _ -> true | _ -> false);
+    `Fed
+  | Error e -> (
+    match on_error with
+    | `Abort -> `Abort e
+    | `Unsat ->
+      tally.consec_dropped <- 0;
+      tally.errors <- tally.errors + 1;
+      Generator.feed gen false;
+      `Fed)
 
-let finish gen tally wall =
+let finish gen tally ~stopped wall =
   let est = Generator.estimator gen in
   let lo, hi = Estimator.confidence_interval est ~delta:(Generator.delta gen) in
   {
@@ -48,13 +97,92 @@ let finish gen tally wall =
     deadlock_paths = tally.deadlocks;
     violated_paths = tally.violated;
     errors = tally.errors;
+    diverged_paths = tally.diverged;
+    dropped_paths = tally.dropped;
+    worker_restarts = tally.restarts;
+    stopped;
     wall_seconds = wall;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing glue: the campaign state is (seed, path cursor,
+   estimator counters, tallies) — see Supervisor.Checkpoint. *)
+
+let checkpoint_state gen tally ~seed ~next_path =
+  let est = Generator.estimator gen in
+  {
+    Supervisor.Checkpoint.seed;
+    kind = Generator.kind gen;
+    delta = Generator.delta gen;
+    eps = Generator.eps gen;
+    next_path;
+    trials = Estimator.trials est;
+    successes = Estimator.successes est;
+    deadlocks = tally.deadlocks;
+    violated = tally.violated;
+    errors = tally.errors;
+    diverged = tally.diverged;
+    dropped = tally.dropped;
+  }
+
+let save_checkpoint sup gen tally ~seed ~next_path =
+  match sup.Supervisor.checkpoint with
+  | Some { Supervisor.file; _ } ->
+    Supervisor.Checkpoint.save ~file (checkpoint_state gen tally ~seed ~next_path)
+  | None -> ()
+
+let maybe_checkpoint sup gen tally ~seed ~next_path =
+  match sup.Supervisor.checkpoint with
+  | Some { Supervisor.file; every } when next_path mod every = 0 ->
+    Supervisor.Checkpoint.save ~file (checkpoint_state gen tally ~seed ~next_path)
+  | _ -> ()
+
+let resume_base sup gen tally ~seed =
+  if not sup.Supervisor.resume then Ok 0
+  else
+    match sup.Supervisor.checkpoint with
+    | None ->
+      Error (Path.Model_error "resume requested without a checkpoint file")
+    | Some { Supervisor.file; _ } ->
+      if not (Sys.file_exists file) then Ok 0 (* fresh start, not an error *)
+      else (
+        match Supervisor.Checkpoint.load ~file with
+        | Error msg -> Error (Path.Model_error ("cannot resume: " ^ msg))
+        | Ok st ->
+          if st.Supervisor.Checkpoint.seed <> seed then
+            Error
+              (Path.Model_error
+                 (Printf.sprintf
+                    "cannot resume: checkpoint was taken with seed %Ld, not %Ld"
+                    st.Supervisor.Checkpoint.seed seed))
+          else if st.kind <> Generator.kind gen then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint was taken with a different \
+                  statistical generator")
+          else if st.delta <> Generator.delta gen || st.eps <> Generator.eps gen
+          then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint was taken with different delta/eps")
+          else begin
+            Generator.restore gen ~trials:st.trials ~successes:st.successes;
+            tally.deadlocks <- st.deadlocks;
+            tally.violated <- st.violated;
+            tally.errors <- st.errors;
+            tally.diverged <- st.diverged;
+            tally.dropped <- st.dropped;
+            Ok st.next_path
+          end)
 
 (* A runner factory: called once per worker (inside that worker's
    domain, so per-worker scratch is domain-local), yielding the
    path-id -> outcome function.  The compiled factory stages the
-   network once and shares the immutable tables across workers. *)
+   network once and shares the immutable tables across workers.
+   Crash recovery leans on this shape twice over: a replacement runner
+   is a fresh factory call, and path [id] always draws from an RNG
+   derived from [(seed, id)] alone, so any path a dying worker lost is
+   regenerated bit-identically by its successor. *)
 let make_runner ~engine ~seed ~hold cfg net ~goal ~strategy =
   match engine with
   | `Interpreted ->
@@ -70,134 +198,259 @@ let make_runner ~engine ~seed ~hold cfg net ~goal ~strategy =
         let rng = Rng.for_path ~seed ~path:id in
         Path.generate_compiled c s q cfg strategy rng
 
-let run_sequential ~on_error ~generator make_runner =
+let run_sequential ~sup ~on_error ~seed ~generator make_runner =
   let tally = new_tally () in
   let t0 = Unix.gettimeofday () in
-  let runner = make_runner () in
-  let rec go i =
-    if not (Generator.needs_more generator) then
-      Ok (finish generator tally (Unix.gettimeofday () -. t0))
-    else
-      match runner i with
-      | Ok v ->
-        feed_outcome generator tally v;
-        go (i + 1)
-      | Error e -> (
-        match on_error with
-        | `Abort -> Error e
-        | `Unsat ->
-          feed_error generator tally;
-          go (i + 1))
-  in
-  go 0
+  match resume_base sup generator tally ~seed with
+  | Error e -> Error e
+  | Ok base ->
+    let on_divergence = sup.Supervisor.on_divergence in
+    let runner = ref (make_runner ()) in
+    let finish_with stopped next_path =
+      save_checkpoint sup generator tally ~seed ~next_path;
+      Ok (finish generator tally ~stopped (Unix.gettimeofday () -. t0))
+    in
+    (* A runner exception is a "worker crash" even in-process: rebuild
+       the runner (fresh scratch state) and replay the same path id —
+       deterministic regeneration makes the retry invisible in the
+       verdict stream. *)
+    let rec attempt tries i =
+      match
+        (match sup.Supervisor.chaos with
+        | Some inject -> inject ~worker:0 ~path:i
+        | None -> ());
+        !runner i
+      with
+      | outcome -> Ok outcome
+      | exception exn ->
+        if tries >= sup.Supervisor.max_restarts then
+          Error (Path.Worker_crash (Printexc.to_string exn))
+        else begin
+          tally.restarts <- tally.restarts + 1;
+          Unix.sleepf (Supervisor.backoff_delay sup ~attempt:tries);
+          runner := make_runner ();
+          attempt (tries + 1) i
+        end
+    in
+    let rec go i =
+      if Supervisor.stop_requested sup then finish_with Interrupted i
+      else if not (Generator.needs_more generator) then finish_with Converged i
+      else
+        match attempt 0 i with
+        | Error e -> Error e
+        | Ok sample -> (
+          match consume ~on_error ~on_divergence generator tally sample with
+          | `Abort e -> Error e
+          | `Fed | `Dropped ->
+            maybe_checkpoint sup generator tally ~seed ~next_path:(i + 1);
+            go (i + 1))
+    in
+    go base
 
-(* Parallel engine (§III-C).  Worker [w] simulates paths w, w+k, w+2k, …
-   into its own buffer; the collector consumes buffers in cyclic worker
-   order, i.e. in path order 0, 1, 2, …  This implements the buffered
-   balanced collection of [22] — the sample stream seen by the
-   (possibly sequential) statistical generator is a deterministic
-   function of the seed, independent of scheduling and of [k]. *)
-let run_parallel ~workers:k ~on_error ~generator make_runner =
+(* Parallel engine (§III-C).  Worker [w] simulates paths base+w,
+   base+w+k, … into its own buffer; the collector consumes buffers in
+   cyclic worker order, i.e. in path order base, base+1, base+2, …
+   This implements the buffered balanced collection of [22] — the
+   sample stream seen by the (possibly sequential) statistical
+   generator is a deterministic function of the seed, independent of
+   scheduling and of [k].
+
+   Each worker owns a bounded buffer with its own mutex and a condition
+   per direction, so a push or pop wakes exactly the one party waiting
+   on that buffer instead of broadcasting to the whole fleet. *)
+
+type slot = Sample of (Path.verdict, Path.error) Result.t | Crashed of string
+
+type buffer = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  q : slot Queue.t;
+}
+
+let max_buffer = 256
+
+let run_parallel ~workers:k ~sup ~on_error ~seed ~generator make_runner =
   let t0 = Unix.gettimeofday () in
   let tally = new_tally () in
-  let stop = Atomic.make false in
-  let mutex = Mutex.create () in
-  let cond = Condition.create () in
-  let queues = Array.init k (fun _ -> Queue.create ()) in
-  let max_buffer = 256 in
-  let limit = Generator.planned_samples generator in
-  let worker w () =
-    let runner = make_runner () in
-    let rec go id =
-      let exhausted = match limit with Some n -> id >= n | None -> false in
-      if exhausted || Atomic.get stop then ()
+  match resume_base sup generator tally ~seed with
+  | Error e -> Error e
+  | Ok base ->
+    let on_divergence = sup.Supervisor.on_divergence in
+    let stop = Atomic.make false in
+    let buffers =
+      Array.init k (fun _ ->
+          {
+            mutex = Mutex.create ();
+            not_empty = Condition.create ();
+            not_full = Condition.create ();
+            q = Queue.create ();
+          })
+    in
+    let push_sample b slot =
+      Mutex.lock b.mutex;
+      while Queue.length b.q >= max_buffer && not (Atomic.get stop) do
+        Condition.wait b.not_full b.mutex
+      done;
+      if not (Atomic.get stop) then begin
+        Queue.push slot b.q;
+        Condition.signal b.not_empty
+      end;
+      Mutex.unlock b.mutex
+    in
+    (* A crashing worker's dying word skips the capacity bound: the
+       collector must see the [Crashed] marker even if the buffer is
+       full, and the worker is about to die so it cannot wait. *)
+    let push_dying b slot =
+      Mutex.lock b.mutex;
+      Queue.push slot b.q;
+      Condition.signal b.not_empty;
+      Mutex.unlock b.mutex
+    in
+    (* Worker [w] pushes exactly one slot per path, in path order, so
+       slot positions and path ids stay aligned; an exception escaping
+       the runner surfaces as a terminal [Crashed] slot sitting exactly
+       where the lost path's sample would have been. *)
+    let worker w start () =
+      match
+        let runner = make_runner () in
+        let rec go id =
+          if Atomic.get stop then ()
+          else begin
+            (match sup.Supervisor.chaos with
+            | Some inject -> inject ~worker:w ~path:id
+            | None -> ());
+            let outcome = runner id in
+            push_sample buffers.(w) (Sample outcome);
+            go (id + k)
+          end
+        in
+        go start
+      with
+      | () -> ()
+      | exception exn -> push_dying buffers.(w) (Crashed (Printexc.to_string exn))
+    in
+    let domains = Array.make k None in
+    let spawn w start = domains.(w) <- Some (Domain.spawn (worker w start)) in
+    let join w =
+      match domains.(w) with
+      | Some d ->
+        Domain.join d;
+        domains.(w) <- None
+      | None -> ()
+    in
+    for w = 0 to k - 1 do
+      spawn w (base + w)
+    done;
+    let halt () =
+      Atomic.set stop true;
+      Array.iter
+        (fun b ->
+          Mutex.lock b.mutex;
+          Condition.broadcast b.not_full;
+          Condition.broadcast b.not_empty;
+          Mutex.unlock b.mutex)
+        buffers;
+      for w = 0 to k - 1 do
+        join w
+      done
+    in
+    let pop b =
+      Mutex.lock b.mutex;
+      while Queue.is_empty b.q do
+        Condition.wait b.not_empty b.mutex
+      done;
+      let slot = Queue.pop b.q in
+      Condition.signal b.not_full;
+      Mutex.unlock b.mutex;
+      slot
+    in
+    let restarts = Array.make k 0 in
+    let consumed = ref 0 in
+    let finish_with stopped =
+      halt ();
+      save_checkpoint sup generator tally ~seed ~next_path:(base + !consumed);
+      Ok (finish generator tally ~stopped (Unix.gettimeofday () -. t0))
+    in
+    let fail e =
+      halt ();
+      Error e
+    in
+    let rec collect () =
+      if Supervisor.stop_requested sup then finish_with Interrupted
+      else if not (Generator.needs_more generator) then finish_with Converged
       else begin
-        let outcome = runner id in
-        Mutex.lock mutex;
-        while Queue.length queues.(w) >= max_buffer && not (Atomic.get stop) do
-          Condition.wait cond mutex
-        done;
-        if not (Atomic.get stop) then Queue.push outcome queues.(w);
-        Condition.broadcast cond;
-        Mutex.unlock mutex;
-        go (id + k)
+        let w = !consumed mod k in
+        match pop buffers.(w) with
+        | Crashed msg ->
+          (* The worker already died; join reclaims the domain.  Its
+             replacement restarts at the exact path the collector is
+             waiting for — everything earlier was already buffered in
+             order, everything later is regenerated from per-path
+             seeds, so the verdict stream is bit-identical to a
+             crash-free run. *)
+          join w;
+          if restarts.(w) >= sup.Supervisor.max_restarts then
+            fail (Path.Worker_crash (Printf.sprintf "worker %d: %s" w msg))
+          else begin
+            let attempt = restarts.(w) in
+            restarts.(w) <- restarts.(w) + 1;
+            tally.restarts <- tally.restarts + 1;
+            Unix.sleepf (Supervisor.backoff_delay sup ~attempt);
+            spawn w (base + !consumed);
+            collect ()
+          end
+        | Sample sample -> (
+          incr consumed;
+          match consume ~on_error ~on_divergence generator tally sample with
+          | `Abort e -> fail e
+          | `Fed | `Dropped ->
+            maybe_checkpoint sup generator tally ~seed
+              ~next_path:(base + !consumed);
+            collect ())
       end
     in
-    go w
-  in
-  let domains = Array.init k (fun w -> Domain.spawn (worker w)) in
-  let next = ref 0 in
-  let failure = ref None in
-  let running = ref true in
-  while !running do
-    if not (Generator.needs_more generator) then begin
-      Mutex.lock mutex;
-      Atomic.set stop true;
-      Condition.broadcast cond;
-      Mutex.unlock mutex;
-      running := false
-    end
-    else begin
-      Mutex.lock mutex;
-      while Queue.is_empty queues.(!next) && not (Atomic.get stop) do
-        Condition.wait cond mutex
-      done;
-      let sample =
-        if Queue.is_empty queues.(!next) then None
-        else Some (Queue.pop queues.(!next))
-      in
-      Condition.broadcast cond;
-      Mutex.unlock mutex;
-      match sample with
-      | None -> running := false
-      | Some (Ok v) ->
-        feed_outcome generator tally v;
-        next := (!next + 1) mod k
-      | Some (Error e) -> (
-        match on_error with
-        | `Unsat ->
-          feed_error generator tally;
-          next := (!next + 1) mod k
-        | `Abort ->
-          failure := Some e;
-          Mutex.lock mutex;
-          Atomic.set stop true;
-          Condition.broadcast cond;
-          Mutex.unlock mutex;
-          running := false)
-    end
-  done;
-  Array.iter Domain.join domains;
-  match !failure with
-  | Some e -> Error e
-  | None -> Ok (finish generator tally (Unix.gettimeofday () -. t0))
+    collect ()
 
 let run ?(workers = 1) ?(seed = 0x51135113L) ?config ?(engine = `Compiled)
-    ?(on_error = `Abort) ?(hold = Slimsim_sta.Expr.true_) net ~goal ~horizon
-    ~strategy ~generator () =
+    ?(on_error = `Abort) ?(hold = Slimsim_sta.Expr.true_) ?supervisor net ~goal
+    ~horizon ~strategy ~generator () =
+  let sup =
+    match supervisor with Some s -> s | None -> Supervisor.default ()
+  in
   let cfg =
     match config with
     | Some c -> { c with Path.horizon }
     | None -> Path.default_config ~horizon
   in
   (* Scripts are stateful user callbacks observing immutable states:
-     they need the interpreter (and a single worker). *)
+     they need the interpreter, and a single worker — parallel lanes
+     would interleave their observations.  Downgrading (rather than
+     erroring) keeps a campaign runnable when a generic harness passes
+     its usual --workers flag. *)
   let engine =
     match strategy with Strategy.Scripted _ -> `Interpreted | _ -> engine
   in
-  let make = make_runner ~engine ~seed ~hold cfg net ~goal ~strategy in
-  if workers <= 1 then run_sequential ~on_error ~generator make
-  else
+  let workers =
     match strategy with
-    | Strategy.Scripted _ ->
-      Error (Path.Model_error "scripted strategies require workers = 1")
-    | _ -> run_parallel ~workers ~on_error ~generator make
+    | Strategy.Scripted _ when workers > 1 ->
+      Printf.eprintf
+        "slimsim: warning: scripted strategies are stateful callbacks; \
+         running with workers = 1 (requested %d)\n\
+         %!"
+        workers;
+      1
+    | _ -> workers
+  in
+  let make = make_runner ~engine ~seed ~hold cfg net ~goal ~strategy in
+  if workers <= 1 then run_sequential ~sup ~on_error ~seed ~generator make
+  else run_parallel ~workers ~sup ~on_error ~seed ~generator make
 
-let estimate ?workers ?seed ?config ?engine ?on_error ?hold net ~goal ~horizon
-    ~strategy ~delta ~eps () =
+let estimate ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor net
+    ~goal ~horizon ~strategy ~delta ~eps () =
   let generator = Generator.create Generator.Chernoff ~delta ~eps in
-  run ?workers ?seed ?config ?engine ?on_error ?hold net ~goal ~horizon ~strategy
-    ~generator ()
+  run ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor net ~goal
+    ~horizon ~strategy ~generator ()
 
 let pp_result ppf r =
   Fmt.pf ppf
@@ -205,4 +458,9 @@ let pp_result ppf r =
     r.probability r.ci_low r.ci_high r.successes r.paths r.deadlock_paths
     r.wall_seconds;
   if r.violated_paths > 0 then Fmt.pf ppf " (%d hold-violated)" r.violated_paths;
-  if r.errors > 0 then Fmt.pf ppf " (%d errored)" r.errors
+  if r.errors > 0 then Fmt.pf ppf " (%d errored)" r.errors;
+  if r.diverged_paths > 0 then
+    Fmt.pf ppf " (%d diverged, %d dropped)" r.diverged_paths r.dropped_paths;
+  if r.worker_restarts > 0 then
+    Fmt.pf ppf " (%d worker restarts)" r.worker_restarts;
+  if r.stopped = Interrupted then Fmt.pf ppf " [interrupted]"

@@ -1,16 +1,25 @@
 (** The Monte Carlo engine: drives path generation until the statistical
     generator (§III-A) is satisfied, sequentially or across multiple
-    domains (§III-C).
+    domains (§III-C), under the robustness policies of a {!Supervisor}.
 
     Path [i] always draws from an RNG derived from [(seed, i)] and
     samples are consumed in path order (via buffered round-robin
     collection in the parallel case), so an estimate is a deterministic
     function of [(model, property, strategy, generator, seed)] —
-    independent of the number of workers, and of the engine: the
-    compiled engine (the default) is bit-identical to the interpreted
-    reference. *)
+    independent of the number of workers, of the engine (the compiled
+    engine, the default, is bit-identical to the interpreted reference),
+    of worker crashes (a restarted worker regenerates lost paths from
+    their per-path seeds), and of checkpoint/resume (an interrupted
+    campaign continues to the same verdict stream). *)
 
 open Slimsim_sta
+
+type stop_reason =
+  | Converged  (** the statistical stopping rule was satisfied *)
+  | Interrupted
+      (** the supervisor's stop flag was raised (e.g. SIGINT); the
+          estimate is partial and the interval reflects the achieved,
+          not the requested, confidence *)
 
 type result = {
   probability : float;
@@ -23,6 +32,15 @@ type result = {
       (** until properties: paths falsified because the hold condition
           failed before the goal *)
   errors : int;  (** errored paths counted as failures ([`Unsat] policy) *)
+  diverged_paths : int;
+      (** paths cut off by a watchdog budget (steps / simulated time /
+          wall clock) *)
+  dropped_paths : int;
+      (** diverged paths discarded under the [`Drop] policy; the
+          stopping rule re-planned around them, so [paths] still counts
+          only kept samples *)
+  worker_restarts : int;  (** crashed workers brought back up *)
+  stopped : stop_reason;
   wall_seconds : float;
 }
 
@@ -33,6 +51,7 @@ val run :
   ?engine:[ `Compiled | `Interpreted ] ->
   ?on_error:[ `Abort | `Unsat ] ->
   ?hold:Expr.t ->
+  ?supervisor:Supervisor.t ->
   Network.t ->
   goal:Expr.t ->
   horizon:float ->
@@ -43,12 +62,22 @@ val run :
 (** [workers = 1] (the default) runs in-process; [workers > 1] spawns
     that many domains.  [engine] selects the staged compiled core
     ([`Compiled], the default) or the reference interpreter; scripted
-    strategies always use the interpreter and are restricted to
-    [workers = 1] (scripts are stateful user callbacks).  [on_error]
-    decides what a path-level error does: [`Abort] (default) stops the
-    whole run with that error; [`Unsat] counts the path in
-    [result.errors] and feeds it to the generator as a failure — a
-    conservative reading for reachability probabilities. *)
+    strategies always use the interpreter, and a [workers > 1] request
+    is downgraded to one worker with a warning on stderr (scripts are
+    stateful user callbacks).  [on_error] decides what a path-level
+    error does: [`Abort] (default) stops the whole run with that error;
+    [`Unsat] counts the path in [result.errors] and feeds it to the
+    generator as a failure — a conservative reading for reachability
+    probabilities.
+
+    [supervisor] carries the robustness policies: the divergence policy
+    for watchdog-expired paths, the per-worker crash/restart budget,
+    checkpoint/resume, and the cooperative stop flag.  The default
+    supervisor aborts on divergence, restarts crashed workers up to
+    three times, and never checkpoints.  Exceptions escaping a worker
+    (in-process or in a spawned domain) restart that worker; the lost
+    path is regenerated from its per-path seed, so the verdict stream
+    is bit-identical to a crash-free run. *)
 
 val estimate :
   ?workers:int ->
@@ -57,6 +86,7 @@ val estimate :
   ?engine:[ `Compiled | `Interpreted ] ->
   ?on_error:[ `Abort | `Unsat ] ->
   ?hold:Expr.t ->
+  ?supervisor:Supervisor.t ->
   Network.t ->
   goal:Expr.t ->
   horizon:float ->

@@ -3,6 +3,11 @@ module Rng = Slimsim_stats.Rng
 module Dist = Slimsim_stats.Dist
 open Slimsim_sta
 
+type divergence =
+  | Step_budget of int
+  | Time_budget of float
+  | Wall_budget of float
+
 type verdict =
   | Sat of float
   | Unsat_horizon
@@ -11,26 +16,47 @@ type verdict =
   | Unsat_violated of float
       (** for until properties: the hold condition failed before the
           goal was reached *)
+  | Diverged of divergence
 
 type error =
   | Deadlock_error of string
-  | Step_limit
   | Aborted
   | Model_error of string
+  | Worker_crash of string
+  | Diverged_path of divergence
 
 type config = {
   horizon : float;
   max_steps : int;
+  max_sim_time : float option;
+  max_wall_per_path : float option;
   on_deadlock : [ `Error | `Falsify ];
   eps_nudge : float;
 }
 
 let default_config ~horizon =
-  { horizon; max_steps = 1_000_000; on_deadlock = `Falsify; eps_nudge = 1e-9 }
+  {
+    horizon;
+    max_steps = 1_000_000;
+    max_sim_time = None;
+    max_wall_per_path = None;
+    on_deadlock = `Falsify;
+    eps_nudge = 1e-9;
+  }
 
 type step_record = { at_time : float; chose_delay : float; description : string }
 
 exception Bail of error
+
+exception Bail_verdict of verdict
+(* Early exit with a verdict rather than an error — used by the watchdog
+   budgets, whose exhaustion is an observation about the path (it
+   diverged), not a campaign failure. *)
+
+(* Wall-budget checks are throttled to every 128th step so the syscall
+   stays off the hot path; 127 steps of slack is negligible against any
+   useful wall budget. *)
+let wall_check_mask = 127
 
 (* Resolve an until property along a delay of [cap] time units from
    [state]: the property is satisfied at the earliest goal crossing
@@ -101,6 +127,13 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
     | `Falsify -> kind
   in
   let log_lr = ref 0.0 in
+  (* Budgets are hoisted to plain float compares ([infinity] = no
+     budget) so an unarmed watchdog costs one branch per step. *)
+  let sim_budget = Option.value cfg.max_sim_time ~default:infinity in
+  let wall_budget = Option.value cfg.max_wall_per_path ~default:infinity in
+  (* Anchored lazily at the first throttled check so a path that never
+     reaches step [wall_check_mask] pays no clock read at all. *)
+  let wall_start = ref nan in
   let result =
     try
       let state = ref (State.initial net) in
@@ -109,7 +142,29 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
       let verdict = ref None in
       while !verdict = None do
         let s = !state in
-        if !step_n > cfg.max_steps then raise (Bail Step_limit);
+        (* Budgets are checked before the goal test, so a path that
+           exhausts a budget on the very step where it would reach the
+           goal is still classified as diverged; the compiled loop uses
+           the same order, keeping the verdict streams identical.  The
+           wall clock is only read every [wall_check_mask + 1] steps
+           (and never on paths shorter than that), keeping the armed
+           watchdogs' overhead in the low single digits. *)
+        if !step_n > cfg.max_steps then
+          raise (Bail_verdict (Diverged (Step_budget !step_n)));
+        if s.State.time > sim_budget then
+          raise (Bail_verdict (Diverged (Time_budget s.State.time)));
+        if
+          wall_budget < infinity
+          && !step_n land wall_check_mask = wall_check_mask
+        then begin
+          let now = Unix.gettimeofday () in
+          if Float.is_nan !wall_start then wall_start := now
+          else begin
+            let elapsed = now -. !wall_start in
+            if elapsed > wall_budget then
+              raise (Bail_verdict (Diverged (Wall_budget elapsed)))
+          end
+        end;
         incr step_n;
         if State.eval_bool s goal then verdict := Some (Sat s.State.time)
         else if hold <> Expr.true_ && not (State.eval_bool s hold) then
@@ -373,6 +428,7 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
       Ok (Option.get !verdict, exp !log_lr)
     with
     | Bail e -> Error e
+    | Bail_verdict v -> Ok (v, exp !log_lr)
     | Value.Type_error msg -> Error (Model_error ("type error: " ^ msg))
     | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg))
   in
@@ -433,13 +489,33 @@ let generate_compiled c s q cfg strategy rng =
       | `Error -> raise (Bail (Deadlock_error msg))
       | `Falsify -> kind
     in
+    let sim_budget = Option.value cfg.max_sim_time ~default:infinity in
+    let wall_budget = Option.value cfg.max_wall_per_path ~default:infinity in
+    let wall_start = ref nan in
     try
       Compiled.reset c s;
       let step_n = ref 0 in
       let zero_advances = ref 0 in
       let verdict = ref None in
       while !verdict = None do
-        if !step_n > cfg.max_steps then raise (Bail Step_limit);
+        (* Same budget-before-goal order (and the same wall-clock
+           throttling) as [generate_weighted]. *)
+        if !step_n > cfg.max_steps then
+          raise (Bail_verdict (Diverged (Step_budget !step_n)));
+        if Compiled.time s > sim_budget then
+          raise (Bail_verdict (Diverged (Time_budget (Compiled.time s))));
+        if
+          wall_budget < infinity
+          && !step_n land wall_check_mask = wall_check_mask
+        then begin
+          let now = Unix.gettimeofday () in
+          if Float.is_nan !wall_start then wall_start := now
+          else begin
+            let elapsed = now -. !wall_start in
+            if elapsed > wall_budget then
+              raise (Bail_verdict (Diverged (Wall_budget elapsed)))
+          end
+        end;
         incr step_n;
         if q.q_goal.Compiled.f_bool s then verdict := Some (Sat (Compiled.time s))
         else if
@@ -586,6 +662,7 @@ let generate_compiled c s q cfg strategy rng =
       Ok (Option.get !verdict)
     with
     | Bail e -> Error e
+    | Bail_verdict v -> Ok v
     | Value.Type_error msg -> Error (Model_error ("type error: " ^ msg))
     | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg)))
 
@@ -593,15 +670,23 @@ let generate ?record ?hold net cfg strategy rng ~goal =
   let result, steps = generate_weighted ?record ?hold net cfg strategy rng ~goal in
   (Result.map fst result, steps)
 
+let divergence_to_string = function
+  | Step_budget n -> Printf.sprintf "step budget exhausted after %d steps" n
+  | Time_budget t -> Printf.sprintf "simulated-time budget exhausted at t=%g" t
+  | Wall_budget w ->
+    Printf.sprintf "wall-clock budget exhausted after %.3gs" w
+
 let verdict_to_string = function
   | Sat t -> Printf.sprintf "sat@%g" t
   | Unsat_horizon -> "unsat (horizon)"
   | Unsat_deadlock -> "unsat (deadlock)"
   | Unsat_timelock -> "unsat (timelock)"
   | Unsat_violated t -> Printf.sprintf "unsat (hold violated@%g)" t
+  | Diverged d -> Printf.sprintf "diverged (%s)" (divergence_to_string d)
 
 let error_to_string = function
   | Deadlock_error msg -> "deadlock error: " ^ msg
-  | Step_limit -> "step limit exceeded"
   | Aborted -> "aborted by script"
   | Model_error msg -> "model error: " ^ msg
+  | Worker_crash msg -> "worker crashed: " ^ msg
+  | Diverged_path d -> "divergent path: " ^ divergence_to_string d

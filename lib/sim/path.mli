@@ -13,6 +13,17 @@
 module I = Slimsim_intervals.Interval_set
 open Slimsim_sta
 
+(** Which watchdog classified a path as runaway.  [Step_budget] and
+    [Time_budget] are deterministic functions of the path; [Wall_budget]
+    depends on machine speed, so wall budgets trade reproducibility for
+    liveness. *)
+type divergence =
+  | Step_budget of int  (** the step watchdog fired after this many steps *)
+  | Time_budget of float
+      (** simulated time exceeded [max_sim_time] at this instant *)
+  | Wall_budget of float
+      (** the path burned this many wall-clock seconds *)
+
 type verdict =
   | Sat of float  (** the goal held at this time *)
   | Unsat_horizon  (** the time bound elapsed without reaching the goal *)
@@ -22,23 +33,41 @@ type verdict =
   | Unsat_violated of float
       (** until properties only: the hold condition failed at this time,
           before the goal was reached *)
+  | Diverged of divergence
+      (** a watchdog budget ran out before any other verdict.  Budgets
+          are checked {e before} the goal test on every step, so both
+          engines classify the same paths as divergent.  How a diverged
+          path counts toward the estimate is the supervisor's divergence
+          policy, not the path generator's concern. *)
 
 type error =
   | Deadlock_error of string
       (** a dead/timelock under the [`Error] policy (§III-D) *)
-  | Step_limit
   | Aborted
   | Model_error of string
+  | Worker_crash of string
+      (** a worker domain died repeatedly and its restart budget ran out *)
+  | Diverged_path of divergence
+      (** a path diverged under the [`Abort] divergence policy *)
 
 type config = {
   horizon : float;  (** upper time bound of the property *)
-  max_steps : int;  (** safety net against non-progress cycles *)
+  max_steps : int;  (** step watchdog against non-progress cycles *)
+  max_sim_time : float option;
+      (** optional budget on simulated time, independent of (and usually
+          below) the horizon *)
+  max_wall_per_path : float option;
+      (** optional wall-clock budget per path, in seconds; the clock is
+          only read every 128 steps and the budget is measured from the
+          first such read, so short paths pay nothing and are never
+          wall-interrupted *)
   on_deadlock : [ `Error | `Falsify ];
   eps_nudge : float;  (** interior nudge for open interval endpoints *)
 }
 
 val default_config : horizon:float -> config
-(** [max_steps = 1_000_000], [on_deadlock = `Falsify],
+(** [max_steps = 1_000_000], [max_sim_time = None],
+    [max_wall_per_path = None], [on_deadlock = `Falsify],
     [eps_nudge = 1e-9]. *)
 
 type step_record = {
@@ -112,5 +141,6 @@ val generate_compiled :
     scratch and may reuse it across paths of one worker).  Returns
     [Model_error] for [Scripted] strategies. *)
 
+val divergence_to_string : divergence -> string
 val verdict_to_string : verdict -> string
 val error_to_string : error -> string

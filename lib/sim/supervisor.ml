@@ -1,0 +1,161 @@
+module Generator = Slimsim_stats.Generator
+
+type checkpoint_cfg = { file : string; every : int }
+
+type t = {
+  on_divergence : [ `Abort | `Unsat | `Drop ];
+  checkpoint : checkpoint_cfg option;
+  resume : bool;
+  max_restarts : int;
+  restart_backoff : float;
+  stop : bool Atomic.t;
+  chaos : (worker:int -> path:int -> unit) option;
+}
+
+let create ?(on_divergence = `Abort) ?checkpoint ?(resume = false)
+    ?(max_restarts = 3) ?(restart_backoff = 0.05) ?stop ?chaos () =
+  if max_restarts < 0 then invalid_arg "Supervisor.create: max_restarts";
+  if restart_backoff < 0.0 then invalid_arg "Supervisor.create: restart_backoff";
+  (match checkpoint with
+  | Some { every; _ } when every <= 0 ->
+    invalid_arg "Supervisor.create: checkpoint interval must be positive"
+  | _ -> ());
+  {
+    on_divergence;
+    checkpoint;
+    resume;
+    max_restarts;
+    restart_backoff;
+    stop = (match stop with Some s -> s | None -> Atomic.make false);
+    chaos;
+  }
+
+let default () = create ()
+
+let request_stop t = Atomic.set t.stop true
+let stop_requested t = Atomic.get t.stop
+
+(* Exponential backoff capped at one second: enough to ride out a
+   transient resource squeeze without stalling the campaign. *)
+let backoff_delay t ~attempt =
+  Float.min 1.0 (t.restart_backoff *. (2.0 ** float_of_int attempt))
+
+let install_signal_handlers t =
+  let handle _ = Atomic.set t.stop true in
+  let set s = try Sys.set_signal s (Sys.Signal_handle handle) with _ -> () in
+  set Sys.sigint;
+  set Sys.sigterm
+
+let divergence_policy_to_string = function
+  | `Abort -> "abort"
+  | `Unsat -> "unsat"
+  | `Drop -> "drop"
+
+let divergence_policy_of_string = function
+  | "abort" -> Ok `Abort
+  | "unsat" -> Ok `Unsat
+  | "drop" -> Ok `Drop
+  | s -> Error (Printf.sprintf "unknown divergence policy %S" s)
+
+module Checkpoint = struct
+  type state = {
+    seed : int64;
+    kind : Generator.kind;
+    delta : float;
+    eps : float;
+    next_path : int;
+    trials : int;
+    successes : int;
+    deadlocks : int;
+    violated : int;
+    errors : int;
+    diverged : int;
+    dropped : int;
+  }
+
+  let magic = "slimsim-checkpoint 1"
+
+  (* Atomicity: write the whole state to [file ^ ".tmp"], then rename.
+     rename(2) is atomic within a filesystem, so a reader (including a
+     later [--resume]) only ever sees either the previous complete
+     checkpoint or the new one — never a torn write, even if the process
+     is killed mid-save. *)
+  let save ~file st =
+    let tmp = file ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "%s\n" magic;
+        Printf.fprintf oc "seed %Ld\n" st.seed;
+        Printf.fprintf oc "generator %s\n" (Generator.kind_to_string st.kind);
+        (* %h hex floats round-trip exactly, so the resumed campaign
+           plans with bit-identical delta/eps. *)
+        Printf.fprintf oc "delta %h\n" st.delta;
+        Printf.fprintf oc "eps %h\n" st.eps;
+        Printf.fprintf oc "next-path %d\n" st.next_path;
+        Printf.fprintf oc "estimator %d %d\n" st.trials st.successes;
+        Printf.fprintf oc "tallies %d %d %d %d %d\n" st.deadlocks st.violated
+          st.errors st.diverged st.dropped);
+    Unix.rename tmp file
+
+  let load ~file =
+    try
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let line () = String.trim (input_line ic) in
+          if line () <> magic then Error "unrecognized checkpoint header"
+          else begin
+            let seed = Scanf.sscanf (line ()) "seed %Ld" Fun.id in
+            let kind_s = Scanf.sscanf (line ()) "generator %s" Fun.id in
+            match Generator.kind_of_string kind_s with
+            | Error e -> Error e
+            | Ok kind ->
+              let float_field name l =
+                Scanf.sscanf l "%s %s" (fun k v ->
+                    if k <> name then failwith ("expected field " ^ name)
+                    else
+                      match float_of_string_opt v with
+                      | Some f -> f
+                      | None -> failwith ("malformed float in field " ^ name))
+              in
+              let delta = float_field "delta" (line ()) in
+              let eps = float_field "eps" (line ()) in
+              let next_path = Scanf.sscanf (line ()) "next-path %d" Fun.id in
+              let trials, successes =
+                Scanf.sscanf (line ()) "estimator %d %d" (fun a b -> (a, b))
+              in
+              let deadlocks, violated, errors, diverged, dropped =
+                Scanf.sscanf (line ()) "tallies %d %d %d %d %d"
+                  (fun a b c d e -> (a, b, c, d, e))
+              in
+              if
+                trials < 0 || successes < 0 || successes > trials
+                || next_path < 0 || deadlocks < 0 || violated < 0 || errors < 0
+                || diverged < 0 || dropped < 0
+              then Error "inconsistent checkpoint counters"
+              else
+                Ok
+                  {
+                    seed;
+                    kind;
+                    delta;
+                    eps;
+                    next_path;
+                    trials;
+                    successes;
+                    deadlocks;
+                    violated;
+                    errors;
+                    diverged;
+                    dropped;
+                  }
+          end)
+    with
+    | Sys_error msg -> Error msg
+    | End_of_file -> Error (file ^ ": truncated checkpoint")
+    | Scanf.Scan_failure msg | Failure msg ->
+      Error (file ^ ": malformed checkpoint: " ^ msg)
+end

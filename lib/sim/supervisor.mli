@@ -1,0 +1,108 @@
+(** Campaign supervision: the robustness policies wrapped around a long
+    SMC run — what to do with runaway paths, how to survive worker
+    crashes, how to persist progress, and how to stop gracefully.
+
+    A supervisor is plain data consulted by {!Engine.run}; it owns no
+    threads of its own.  The default supervisor preserves the historical
+    behaviour: divergent paths abort the campaign, crashes are retried a
+    few times, nothing is checkpointed, and no stop flag is observed. *)
+
+type checkpoint_cfg = {
+  file : string;  (** checkpoint path; written via tmp-file + rename *)
+  every : int;  (** save after every [every] consumed paths *)
+}
+
+type t = {
+  on_divergence : [ `Abort | `Unsat | `Drop ];
+      (** What a {!Path.Diverged} verdict does to the campaign:
+          [`Abort] stops it with {!Path.Diverged_path}; [`Unsat] feeds
+          the path to the generator as a failure (conservative — the
+          estimate can only drop); [`Drop] discards the sample and lets
+          the stopping rule re-plan, so the campaign still consumes the
+          planned number of {e kept} samples.  A campaign whose paths
+          (almost) all diverge cannot converge under [`Drop]; after
+          10,000 consecutive dropped samples it aborts with
+          {!Path.Model_error} instead of spinning forever. *)
+  checkpoint : checkpoint_cfg option;
+  resume : bool;
+      (** Restore generator state and path cursor from [checkpoint]
+          before simulating.  A missing checkpoint file is a fresh
+          start, not an error; an incompatible one (different seed,
+          generator, delta or eps) is. *)
+  max_restarts : int;
+      (** Per-worker crash budget; one more crash aborts the campaign
+          with {!Path.Worker_crash}. *)
+  restart_backoff : float;
+      (** Base delay in seconds before a restart; doubled per
+          consecutive restart of the same worker, capped at 1s. *)
+  stop : bool Atomic.t;
+      (** Cooperative interruption flag, shared with signal handlers
+          (and with tests).  Once set, the engine stops consuming new
+          samples and reports a partial estimate. *)
+  chaos : (worker:int -> path:int -> unit) option;
+      (** Test-only fault injection: called in the worker's domain
+          right before each path is simulated; raising simulates a
+          worker crash at exactly that path. *)
+}
+
+val create :
+  ?on_divergence:[ `Abort | `Unsat | `Drop ] ->
+  ?checkpoint:checkpoint_cfg ->
+  ?resume:bool ->
+  ?max_restarts:int ->
+  ?restart_backoff:float ->
+  ?stop:bool Atomic.t ->
+  ?chaos:(worker:int -> path:int -> unit) ->
+  unit ->
+  t
+(** Defaults: [`Abort], no checkpoint, no resume, [max_restarts = 3],
+    [restart_backoff = 0.05], a fresh stop flag, no chaos. *)
+
+val default : unit -> t
+
+val request_stop : t -> unit
+val stop_requested : t -> bool
+
+val backoff_delay : t -> attempt:int -> float
+(** Delay before restart number [attempt] (0-based) of one worker. *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGINT and SIGTERM to {!request_stop}.  Interruption is
+    cooperative: it takes effect at the next consumed sample, and the
+    watchdog budgets are what bound how long a single path can defer
+    that. *)
+
+val divergence_policy_to_string : [ `Abort | `Unsat | `Drop ] -> string
+
+val divergence_policy_of_string :
+  string -> ([ `Abort | `Unsat | `Drop ], string) result
+
+(** Crash-safe persistence of campaign progress.  The state is exactly
+    what determinism requires: the seed and path cursor locate the next
+    RNG stream, and the estimator counters are the entire state of every
+    stopping rule (fixed-size and Chow–Robbins alike), so a resumed
+    campaign continues to the same verdict stream and the same final
+    estimate as an uninterrupted one. *)
+module Checkpoint : sig
+  type state = {
+    seed : int64;
+    kind : Slimsim_stats.Generator.kind;
+    delta : float;
+    eps : float;
+    next_path : int;  (** first path id not yet consumed *)
+    trials : int;
+    successes : int;
+    deadlocks : int;
+    violated : int;
+    errors : int;
+    diverged : int;
+    dropped : int;
+  }
+
+  val save : file:string -> state -> unit
+  (** Atomic: the state is written to [file ^ ".tmp"] and renamed over
+      [file], so a crash mid-save never corrupts the previous
+      checkpoint. *)
+
+  val load : file:string -> (state, string) result
+end

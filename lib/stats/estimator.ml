@@ -20,4 +20,25 @@ let confidence_interval t ~delta =
 
 let merge t1 t2 = { n = t1.n + t2.n; a = t1.a + t2.a }
 
+let of_counts ~trials ~successes =
+  if trials < 0 || successes < 0 || successes > trials then
+    invalid_arg "Estimator.of_counts";
+  { n = trials; a = successes }
+
+let restore t ~trials ~successes =
+  if trials < 0 || successes < 0 || successes > trials then
+    invalid_arg "Estimator.restore";
+  t.n <- trials;
+  t.a <- successes
+
+let to_string t = Printf.sprintf "%d %d" t.n t.a
+
+let of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ n; a ] -> (
+    match (int_of_string_opt n, int_of_string_opt a) with
+    | Some n, Some a when n >= 0 && a >= 0 && a <= n -> Ok { n; a }
+    | _ -> Error (Printf.sprintf "malformed estimator state %S" s))
+  | _ -> Error (Printf.sprintf "malformed estimator state %S" s)
+
 let pp ppf t = Fmt.pf ppf "%d/%d (%.6f)" t.a t.n (mean t)

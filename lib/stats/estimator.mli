@@ -16,4 +16,19 @@ val confidence_interval : t -> delta:float -> float * float
 val merge : t -> t -> t
 (** Combine two independent estimators (for per-worker aggregation). *)
 
+val of_counts : trials:int -> successes:int -> t
+(** Rebuild an estimator from persisted counts (checkpoint resume).
+    Raises [Invalid_argument] on negative or inconsistent counts. *)
+
+val restore : t -> trials:int -> successes:int -> unit
+(** Overwrite the state of an existing estimator in place — used to
+    resume a campaign into the estimator already owned by a generator. *)
+
+val to_string : t -> string
+(** Serialize the complete state (["<trials> <successes>"]).  The
+    Bernoulli estimator is fully determined by its two counters, so
+    [of_string (to_string t)] is an exact round trip. *)
+
+val of_string : string -> (t, string) result
+
 val pp : Format.formatter -> t -> unit

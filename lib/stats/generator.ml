@@ -50,8 +50,11 @@ let needs_more t =
       half_width > t.eps
 
 let estimator t = t.est
+let kind t = t.kind
 let delta t = t.delta
 let eps t = t.eps
+
+let restore t ~trials ~successes = Estimator.restore t.est ~trials ~successes
 
 let kind_to_string = function
   | Chernoff -> "chernoff"

@@ -29,7 +29,16 @@ val needs_more : t -> bool
 (** Whether further simulation is required. *)
 
 val estimator : t -> Estimator.t
+val kind : t -> kind
 val delta : t -> float
 val eps : t -> float
+
+val restore : t -> trials:int -> successes:int -> unit
+(** Overwrite the underlying estimator state from a checkpoint.  Both
+    the fixed-size rules and the sequential Chow–Robbins rule are pure
+    functions of the restored counts (plus the immutable [delta]/[eps]),
+    so a resumed campaign makes the same stopping decision as an
+    uninterrupted one. *)
+
 val kind_to_string : kind -> string
 val kind_of_string : string -> (kind, string) result

@@ -15,6 +15,26 @@ let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
 
 let stddev t = sqrt (variance t)
 
+let state t = (t.n, t.mean, t.m2)
+
+let restore ~n ~mean ~m2 =
+  if n < 0 || m2 < 0.0 then invalid_arg "Welford.restore";
+  { n; mean; m2 }
+
+(* %h round-trips doubles exactly, so a checkpointed accumulator resumes
+   bit-identically. *)
+let to_string t = Printf.sprintf "%d %h %h" t.n t.mean t.m2
+
+let of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ n; mean; m2 ] -> (
+    match
+      (int_of_string_opt n, float_of_string_opt mean, float_of_string_opt m2)
+    with
+    | Some n, Some mean, Some m2 when n >= 0 && m2 >= 0.0 -> Ok { n; mean; m2 }
+    | _ -> Error (Printf.sprintf "malformed welford state %S" s))
+  | _ -> Error (Printf.sprintf "malformed welford state %S" s)
+
 let confidence_interval t ~delta =
   if t.n = 0 then (neg_infinity, infinity)
   else

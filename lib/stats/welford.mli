@@ -13,5 +13,19 @@ val variance : t -> float
 
 val stddev : t -> float
 
+val state : t -> int * float * float
+(** [(n, mean, m2)] — the full accumulator state. *)
+
+val restore : n:int -> mean:float -> m2:float -> t
+(** Rebuild an accumulator from persisted state.  Raises
+    [Invalid_argument] on negative [n] or [m2]. *)
+
+val to_string : t -> string
+(** Serialize the full state with hex floats ([%h]), so
+    [of_string (to_string t)] restores the accumulator bit-identically
+    (checkpoint/resume of weighted campaigns). *)
+
+val of_string : string -> (t, string) result
+
 val confidence_interval : t -> delta:float -> float * float
 (** CLT interval [mean ± z_{1-delta/2}·stddev/sqrt n]. *)

@@ -350,6 +350,114 @@ end D.I;
 root D.I;
 |}
 
+(* --- W007: cycles a simulation can spin through at one time instant --- *)
+
+let test_unbounded_dwell () =
+  (* pure Tau cycle: the canonical Zeno model *)
+  let zeno =
+    {|
+device D
+features
+  o: out data port bool := false;
+end D;
+device implementation D.I
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[]-> b;
+  b -[then o := true]-> a;
+end D.I;
+root D.I;
+|}
+  in
+  fires "tau cycle" "W007" zeno;
+  (match
+     List.find_opt
+       (fun (d : Diag.t) -> d.Diag.code = "W007")
+       (Lint.lint_string zeno)
+   with
+  | Some d ->
+    Alcotest.(check bool) "cross-references the watchdog flags" true
+      (Astring_contains.contains d.Diag.msg "--max-steps"
+      && Astring_contains.contains d.Diag.msg "--max-wall-per-path")
+  | None -> Alcotest.fail "W007 expected");
+  (* a guard over a frozen discrete variable cannot be flipped by a
+     delay, so the cycle is still timeless *)
+  fires "frozen discrete guard" "W007"
+    {|
+device D
+features
+  o: out data port bool := false;
+end D;
+device implementation D.I
+subcomponents
+  n: data int [0, 3] := 0;
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[when n < 3 then o := true]-> b;
+  b -[]-> a;
+end D.I;
+root D.I;
+|};
+  (* an exponential exit anchors the location to the clock *)
+  quiet "markovian exit" "W007"
+    {|
+device D
+features
+  o: out data port bool := false;
+end D;
+device implementation D.I
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[rate 1.0 then o := true]-> b;
+  b -[]-> a;
+end D.I;
+root D.I;
+|};
+  (* a guard reading a clock is time-anchored *)
+  quiet "time-anchored guard" "W007"
+    {|
+device D
+features
+  o: out data port bool := false;
+end D;
+device implementation D.I
+subcomponents
+  c: data clock;
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[when c >= 1.0 then o := true]-> b;
+  b -[]-> a;
+end D.I;
+root D.I;
+|};
+  (* the self-limiting latch: firing falsifies its own guard *)
+  quiet "self-limiting latch" "W007"
+    {|
+device D
+features
+  o: out data port bool := false;
+end D;
+device implementation D.I
+subcomponents
+  seen: data bool := false;
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[when not seen then seen := true]-> a;
+  a -[when seen then o := true]-> b;
+end D.I;
+root D.I;
+|}
+
 (* --- E000 / E001: front-end failures as diagnostics --- *)
 
 let test_frontend_errors () =
@@ -446,6 +554,7 @@ let suite =
       test_uninitialized_read;
     Alcotest.test_case "divergent invariant (W006)" `Quick
       test_divergent_invariant;
+    Alcotest.test_case "unbounded dwell (W007)" `Quick test_unbounded_dwell;
     Alcotest.test_case "front-end errors (E000/E001)" `Quick
       test_frontend_errors;
     Alcotest.test_case "severity thresholds" `Quick test_severity;

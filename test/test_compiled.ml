@@ -252,11 +252,11 @@ let test_verdicts_queue_until () =
 (* ------------------------------------------------------------------ *)
 (* Engine-level equality and the error/violation accounting            *)
 
-let engine_result ~engine ?on_error ?hold ?config net ~g ~horizon ~strategy
-    ~kind =
+let engine_result ~engine ?on_error ?hold ?config ?supervisor net ~g ~horizon
+    ~strategy ~kind =
   let generator = Generator.create kind ~delta:0.1 ~eps:0.1 in
   match
-    Engine.run ~seed:23L ~engine ?on_error ?config
+    Engine.run ~seed:23L ~engine ?on_error ?config ?supervisor
       ?hold net ~goal:g ~horizon ~strategy ~generator ()
   with
   | Ok r -> r
@@ -308,19 +308,36 @@ let test_violated_paths_counted () =
 let test_error_policy () =
   let net = load Slimsim_models.Gps.source in
   let g = goal net Slimsim_models.Gps.goal_no_fix in
-  (* max_steps = 0 makes every path fail with Step_limit. *)
+  (* max_steps = 0 classifies every path as diverged; the default
+     supervisor aborts the campaign on the first one. *)
   let config = { (Path.default_config ~horizon:100.0) with Path.max_steps = 0 } in
   let generator = Generator.create Generator.Chernoff ~delta:0.1 ~eps:0.2 in
   (match
      Engine.run ~config net ~goal:g ~horizon:100.0 ~strategy:Strategy.Asap
        ~generator ()
    with
-  | Error Path.Step_limit -> ()
-  | Ok _ -> Alcotest.fail "on_error:`Abort must surface the path error"
+  | Error (Path.Diverged_path (Path.Step_budget _)) -> ()
+  | Ok _ -> Alcotest.fail "on_divergence:`Abort must surface the divergence"
   | Error e -> Alcotest.failf "unexpected error: %s" (Path.error_to_string e));
+  (* `Unsat counts every diverged path as a failure. *)
+  let supervisor = Slimsim_sim.Supervisor.create ~on_divergence:`Unsat () in
   let r =
-    engine_result ~engine:`Compiled ~on_error:`Unsat ~config net ~g
-      ~horizon:100.0 ~strategy:Strategy.Asap ~kind:Generator.Chernoff
+    engine_result ~engine:`Compiled ~supervisor ~config net ~g ~horizon:100.0
+      ~strategy:Strategy.Asap ~kind:Generator.Chernoff
+  in
+  Alcotest.(check int)
+    "every path diverged" r.Engine.paths r.Engine.diverged_paths;
+  Alcotest.(check (float 0.0))
+    "diverged paths count as unsat" 0.0 r.Engine.probability;
+  let s = Fmt.str "%a" Engine.pp_result r in
+  Alcotest.(check bool) "divergence surfaced" true
+    (Astring_contains.contains s "diverged");
+  (* on_error:`Unsat still covers genuine path errors: a script that
+     picks an invalid move index raises Model_error on every path. *)
+  let bad_script _alts = Strategy.Fire { index = max_int; delay = 0.0 } in
+  let r =
+    engine_result ~engine:`Interpreted ~on_error:`Unsat net ~g ~horizon:100.0
+      ~strategy:(Strategy.Scripted bad_script) ~kind:Generator.Chernoff
   in
   Alcotest.(check int) "every path errored" r.Engine.paths r.Engine.errors;
   Alcotest.(check (float 0.0)) "errors count as unsat" 0.0 r.Engine.probability;

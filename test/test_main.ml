@@ -14,5 +14,6 @@ let () =
       ("analyze", Test_analyze.suite);
       ("features", Test_features.suite);
       ("robustness", Test_robustness.suite);
+      ("supervisor", Test_supervisor.suite);
       ("integration", Test_integration.suite);
     ]

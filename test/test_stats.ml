@@ -235,6 +235,70 @@ let test_welford_constant () =
   let lo, hi = Slimsim_stats.Welford.confidence_interval w ~delta:0.05 in
   Alcotest.(check (float 1e-12)) "degenerate interval" 0.0 (hi -. lo)
 
+let test_estimator_serialization () =
+  let e = Estimator.create () in
+  for i = 1 to 57 do
+    Estimator.add e (i mod 3 = 0)
+  done;
+  (match Estimator.of_string (Estimator.to_string e) with
+  | Ok e' ->
+    Alcotest.(check int) "trials" (Estimator.trials e) (Estimator.trials e');
+    Alcotest.(check int) "successes" (Estimator.successes e)
+      (Estimator.successes e');
+    Alcotest.(check (float 0.0)) "mean is bit-identical" (Estimator.mean e)
+      (Estimator.mean e')
+  | Error msg -> Alcotest.failf "of_string failed: %s" msg);
+  (match Estimator.of_string "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse");
+  match Estimator.of_string "3 7" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "successes > trials must not parse"
+
+let test_welford_serialization () =
+  let w = Slimsim_stats.Welford.create () in
+  (* values with no short decimal representation: the hex-float format
+     must still round-trip them exactly *)
+  for i = 1 to 100 do
+    Slimsim_stats.Welford.add w (1.0 /. float_of_int i)
+  done;
+  (match Slimsim_stats.Welford.of_string (Slimsim_stats.Welford.to_string w) with
+  | Ok w' ->
+    let n, mean, m2 = Slimsim_stats.Welford.state w in
+    let n', mean', m2' = Slimsim_stats.Welford.state w' in
+    Alcotest.(check int) "count" n n';
+    Alcotest.(check (float 0.0)) "mean is bit-identical" mean mean';
+    Alcotest.(check (float 0.0)) "m2 is bit-identical" m2 m2'
+  | Error msg -> Alcotest.failf "of_string failed: %s" msg);
+  match Slimsim_stats.Welford.of_string "not a welford" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+
+let test_generator_restore () =
+  (* restoring a generator's counters must reproduce the stopping
+     decision and the estimate of a generator that was fed live *)
+  List.iter
+    (fun kind ->
+      let live = Generator.create kind ~delta:0.05 ~eps:0.05 in
+      let n = ref 0 in
+      while Generator.needs_more live && !n < 200 do
+        incr n;
+        Generator.feed live (!n mod 4 = 0)
+      done;
+      let est = Generator.estimator live in
+      let restored = Generator.create kind ~delta:0.05 ~eps:0.05 in
+      Generator.restore restored ~trials:(Estimator.trials est)
+        ~successes:(Estimator.successes est);
+      Alcotest.(check bool)
+        (Generator.kind_to_string kind ^ ": same stopping decision")
+        (Generator.needs_more live)
+        (Generator.needs_more restored);
+      Alcotest.(check (float 0.0))
+        (Generator.kind_to_string kind ^ ": same estimate")
+        (Estimator.mean est)
+        (Estimator.mean (Generator.estimator restored)))
+    [ Generator.Chernoff; Generator.Chow_robbins ]
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -255,4 +319,9 @@ let suite =
     Alcotest.test_case "generator names" `Quick test_generator_names;
     Alcotest.test_case "welford" `Quick test_welford;
     Alcotest.test_case "welford constant" `Quick test_welford_constant;
+    Alcotest.test_case "estimator serialization" `Quick
+      test_estimator_serialization;
+    Alcotest.test_case "welford serialization" `Quick
+      test_welford_serialization;
+    Alcotest.test_case "generator restore" `Quick test_generator_restore;
   ]

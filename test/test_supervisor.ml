@@ -1,0 +1,450 @@
+(* Campaign-supervision tests: watchdog budget classification, the
+   divergence policies, chaos-injected worker crashes (the verdict
+   stream must be bit-identical to a crash-free run), checkpoint
+   round-trips, and interrupt + resume (the resumed campaign must reach
+   the same final estimate as an uninterrupted one). *)
+
+module Loader = Slimsim_slim.Loader
+module Path = Slimsim_sim.Path
+module Strategy = Slimsim_sim.Strategy
+module Engine = Slimsim_sim.Engine
+module Supervisor = Slimsim_sim.Supervisor
+module Generator = Slimsim_stats.Generator
+module Rng = Slimsim_stats.Rng
+module Compiled = Slimsim_sta.Compiled
+
+let load src =
+  match Loader.load_string src with
+  | Ok l -> l.Loader.network
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let goal net src =
+  match Loader.parse_goal net src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "goal failed: %s" e
+
+let ok = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "engine run failed: %s" (Path.error_to_string e)
+
+let run ?(workers = 1) ?(engine = `Compiled) ?supervisor ?config ?(seed = 7L)
+    ?(kind = Generator.Chernoff) ?(delta = 0.1) ?(eps = 0.1) net g ~horizon =
+  let generator = Generator.create kind ~delta ~eps in
+  Engine.run ~workers ~seed ?config ~engine ?supervisor net ~goal:g ~horizon
+    ~strategy:Strategy.Asap ~generator ()
+
+(* Everything that must be schedule-independent: the estimate and every
+   counter derived from the verdict stream (wall time and restart
+   counts legitimately differ). *)
+let same_estimate name (a : Engine.result) (b : Engine.result) =
+  Alcotest.(check (float 0.0)) (name ^ ": probability") a.Engine.probability
+    b.Engine.probability;
+  Alcotest.(check int) (name ^ ": paths") a.Engine.paths b.Engine.paths;
+  Alcotest.(check int) (name ^ ": successes") a.Engine.successes
+    b.Engine.successes;
+  Alcotest.(check int) (name ^ ": deadlocks") a.Engine.deadlock_paths
+    b.Engine.deadlock_paths;
+  Alcotest.(check int) (name ^ ": violated") a.Engine.violated_paths
+    b.Engine.violated_paths;
+  Alcotest.(check int) (name ^ ": errors") a.Engine.errors b.Engine.errors;
+  Alcotest.(check int) (name ^ ": diverged") a.Engine.diverged_paths
+    b.Engine.diverged_paths;
+  Alcotest.(check int) (name ^ ": dropped") a.Engine.dropped_paths
+    b.Engine.dropped_paths
+
+(* --- models --- *)
+
+(* Every path spins a <-> b forever at time 0: pure Zeno. *)
+let zeno_model =
+  {|
+device D
+features
+  v: out data port bool := false;
+end D;
+device implementation D.I
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[]-> b;
+  b -[]-> a;
+end D.I;
+root D.I;
+|}
+
+(* A fair race: ~half the paths reach the goal, the other half fall
+   into a Zeno trap — the model for divergence-policy accounting. *)
+let trap_model =
+  {|
+device D
+features
+  v: out data port bool := false;
+end D;
+device implementation D.I
+modes
+  start: initial mode;
+  good: mode;
+  bad: mode;
+transitions
+  start -[rate 1.0 then v := true]-> good;
+  start -[rate 1.0]-> bad;
+  bad -[]-> bad;
+end D.I;
+root D.I;
+|}
+
+(* One slow exponential step: simulated time jumps far past any small
+   simulated-time budget in a single transition. *)
+let slow_model =
+  {|
+device D
+features
+  v: out data port bool := false;
+end D;
+device implementation D.I
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[rate 1.0 then v := true]-> b;
+end D.I;
+root D.I;
+|}
+
+let one_path ~engine net cfg strategy ~seed ~g =
+  match engine with
+  | `Interpreted ->
+    fst (Path.generate net cfg strategy (Rng.for_path ~seed ~path:0) ~goal:g)
+  | `Compiled ->
+    let c = Compiled.compile net in
+    let q = Path.compile_query c ~goal:g in
+    let s = Compiled.scratch c in
+    Path.generate_compiled c s q cfg strategy (Rng.for_path ~seed ~path:0)
+
+(* --- watchdog classification --- *)
+
+let test_watchdog_steps () =
+  let net = load zeno_model in
+  let g = goal net "v" in
+  let cfg =
+    { (Path.default_config ~horizon:10.0) with Path.max_steps = 500 }
+  in
+  let interp = one_path ~engine:`Interpreted net cfg Strategy.Asap ~seed:5L ~g in
+  let comp = one_path ~engine:`Compiled net cfg Strategy.Asap ~seed:5L ~g in
+  (match interp with
+  | Ok (Path.Diverged (Path.Step_budget n)) ->
+    Alcotest.(check int) "budget exhausted just past the cap" 501 n
+  | v ->
+    Alcotest.failf "expected step-budget divergence, got %s"
+      (match v with
+      | Ok v -> Path.verdict_to_string v
+      | Error e -> Path.error_to_string e));
+  Alcotest.(check bool) "engines classify identically" true (interp = comp)
+
+let test_watchdog_sim_time () =
+  let net = load slow_model in
+  let g = goal net "v" in
+  let cfg =
+    { (Path.default_config ~horizon:100.0) with Path.max_sim_time = Some 1e-6 }
+  in
+  for seed = 1 to 5 do
+    let seed = Int64.of_int seed in
+    let interp = one_path ~engine:`Interpreted net cfg Strategy.Asap ~seed ~g in
+    let comp = one_path ~engine:`Compiled net cfg Strategy.Asap ~seed ~g in
+    (match interp with
+    | Ok (Path.Diverged (Path.Time_budget t)) ->
+      Alcotest.(check bool) "budget reported past the cap" true (t > 1e-6)
+    | v ->
+      Alcotest.failf "seed %Ld: expected time-budget divergence, got %s" seed
+        (match v with
+        | Ok v -> Path.verdict_to_string v
+        | Error e -> Path.error_to_string e));
+    Alcotest.(check bool) "engines classify identically" true (interp = comp)
+  done
+
+let test_watchdog_wall () =
+  let net = load zeno_model in
+  let g = goal net "v" in
+  let cfg =
+    { (Path.default_config ~horizon:10.0) with Path.max_wall_per_path = Some 0.0 }
+  in
+  match one_path ~engine:`Compiled net cfg Strategy.Asap ~seed:1L ~g with
+  | Ok (Path.Diverged (Path.Wall_budget w)) ->
+    Alcotest.(check bool) "elapsed time reported" true (w >= 0.0)
+  | v ->
+    Alcotest.failf "expected wall-budget divergence, got %s"
+      (match v with
+      | Ok v -> Path.verdict_to_string v
+      | Error e -> Path.error_to_string e)
+
+(* --- divergence policies --- *)
+
+let trap_cfg ~horizon =
+  { (Path.default_config ~horizon) with Path.max_steps = 200 }
+
+let test_divergence_abort () =
+  let net = load trap_model in
+  let g = goal net "v" in
+  match run net g ~horizon:50.0 ~config:(trap_cfg ~horizon:50.0) with
+  | Error (Path.Diverged_path (Path.Step_budget _)) -> ()
+  | Ok _ -> Alcotest.fail "abort policy must surface the divergence"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Path.error_to_string e)
+
+let test_divergence_unsat () =
+  let net = load trap_model in
+  let g = goal net "v" in
+  let config = trap_cfg ~horizon:50.0 in
+  let sup () = Supervisor.create ~on_divergence:`Unsat () in
+  let r1 = ok (run ~supervisor:(sup ()) ~config net g ~horizon:50.0) in
+  let planned =
+    Option.get
+      (Generator.planned_samples
+         (Generator.create Generator.Chernoff ~delta:0.1 ~eps:0.1))
+  in
+  Alcotest.(check int) "planned paths consumed" planned r1.Engine.paths;
+  Alcotest.(check bool) "some paths diverged" true (r1.Engine.diverged_paths > 0);
+  Alcotest.(check int) "nothing dropped" 0 r1.Engine.dropped_paths;
+  Alcotest.(check bool) "race is roughly fair" true
+    (let frac =
+       float_of_int r1.Engine.diverged_paths /. float_of_int r1.Engine.paths
+     in
+     0.3 < frac && frac < 0.7);
+  (* the estimate and counters are worker-count independent *)
+  List.iter
+    (fun workers ->
+      let r =
+        ok (run ~workers ~supervisor:(sup ()) ~config net g ~horizon:50.0)
+      in
+      same_estimate (Printf.sprintf "unsat, %d workers" workers) r r1)
+    [ 2; 4 ];
+  (* and engine independent *)
+  let ri =
+    ok
+      (run ~engine:`Interpreted ~supervisor:(sup ()) ~config net g
+         ~horizon:50.0)
+  in
+  same_estimate "unsat, interpreted engine" ri r1
+
+let test_divergence_drop () =
+  let net = load trap_model in
+  let g = goal net "v" in
+  let config = trap_cfg ~horizon:50.0 in
+  let sup () = Supervisor.create ~on_divergence:`Drop () in
+  let r1 = ok (run ~supervisor:(sup ()) ~config net g ~horizon:50.0) in
+  let planned =
+    Option.get
+      (Generator.planned_samples
+         (Generator.create Generator.Chernoff ~delta:0.1 ~eps:0.1))
+  in
+  (* dropping re-plans: the kept sample count still reaches the plan *)
+  Alcotest.(check int) "kept samples reach the plan" planned r1.Engine.paths;
+  Alcotest.(check bool) "some paths dropped" true (r1.Engine.dropped_paths > 0);
+  Alcotest.(check int) "dropped = diverged under `Drop" r1.Engine.diverged_paths
+    r1.Engine.dropped_paths;
+  (* every kept sample reached the goal, so conditioning on
+     non-divergence gives probability 1 *)
+  Alcotest.(check (float 0.0)) "kept samples all sat" 1.0 r1.Engine.probability;
+  List.iter
+    (fun workers ->
+      let r =
+        ok (run ~workers ~supervisor:(sup ()) ~config net g ~horizon:50.0)
+      in
+      same_estimate (Printf.sprintf "drop, %d workers" workers) r r1)
+    [ 2; 4 ]
+
+let test_drop_stall_guard () =
+  (* every path of the pure Zeno model diverges: under [`Drop] nothing
+     is ever fed, and the stall guard must abort instead of spinning *)
+  let net = load zeno_model in
+  let g = goal net "v" in
+  let config = { (Path.default_config ~horizon:10.0) with Path.max_steps = 50 } in
+  let supervisor = Supervisor.create ~on_divergence:`Drop () in
+  match run ~supervisor ~config net g ~horizon:10.0 with
+  | Error (Path.Model_error msg) ->
+    Alcotest.(check bool) "names the policy" true
+      (Astring_contains.contains msg "drop")
+  | Ok _ -> Alcotest.fail "an all-divergent campaign must not converge"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Path.error_to_string e)
+
+(* --- worker crash recovery --- *)
+
+(* Raise exactly once per listed path id, whatever domain asks. *)
+let crash_once_at paths =
+  let lock = Mutex.create () in
+  let crashed = Hashtbl.create 8 in
+  fun ~worker:_ ~path ->
+    if List.mem path paths then begin
+      Mutex.lock lock;
+      let first = not (Hashtbl.mem crashed path) in
+      if first then Hashtbl.add crashed path ();
+      Mutex.unlock lock;
+      if first then
+        failwith (Printf.sprintf "chaos: injected crash at path %d" path)
+    end
+
+let test_crash_recovery () =
+  let net = load Slimsim_models.Gps.source in
+  let g = goal net Slimsim_models.Gps.goal_no_fix in
+  List.iter
+    (fun kind ->
+      let baseline = ok (run ~kind net g ~horizon:100.0) in
+      List.iter
+        (fun workers ->
+          let supervisor =
+            Supervisor.create ~restart_backoff:0.001
+              ~chaos:(crash_once_at [ 13; 27 ])
+              ()
+          in
+          let r = ok (run ~workers ~supervisor ~kind net g ~horizon:100.0) in
+          let name =
+            Printf.sprintf "%s, %d workers with chaos"
+              (Generator.kind_to_string kind)
+              workers
+          in
+          same_estimate name r baseline;
+          Alcotest.(check int) (name ^ ": two restarts") 2
+            r.Engine.worker_restarts)
+        [ 1; 2; 4 ])
+    [ Generator.Chernoff; Generator.Chow_robbins ]
+
+let test_restart_budget_exhausted () =
+  let net = load Slimsim_models.Gps.source in
+  let g = goal net Slimsim_models.Gps.goal_no_fix in
+  let always_crash ~worker:_ ~path =
+    if path = 5 then failwith "chaos: unrecoverable crash at path 5"
+  in
+  List.iter
+    (fun workers ->
+      let supervisor =
+        Supervisor.create ~max_restarts:2 ~restart_backoff:0.001
+          ~chaos:always_crash ()
+      in
+      match run ~workers ~supervisor net g ~horizon:100.0 with
+      | Error (Path.Worker_crash _) -> ()
+      | Ok _ -> Alcotest.failf "%d workers: campaign must abort" workers
+      | Error e ->
+        Alcotest.failf "%d workers: unexpected error: %s" workers
+          (Path.error_to_string e))
+    [ 1; 2 ]
+
+(* --- checkpointing --- *)
+
+let test_checkpoint_roundtrip () =
+  let st =
+    {
+      Supervisor.Checkpoint.seed = 0x51135113L;
+      kind = Generator.Chow_robbins;
+      delta = 0.05;
+      eps = 1.0 /. 3.0;
+      next_path = 123;
+      trials = 118;
+      successes = 37;
+      deadlocks = 1;
+      violated = 2;
+      errors = 3;
+      diverged = 4;
+      dropped = 5;
+    }
+  in
+  let file = Filename.temp_file "slimsim" ".ckpt" in
+  Supervisor.Checkpoint.save ~file st;
+  (match Supervisor.Checkpoint.load ~file with
+  | Ok st' ->
+    Alcotest.(check bool) "bit-identical round trip" true (st = st')
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  Sys.remove file;
+  let bad = Filename.temp_file "slimsim" ".ckpt" in
+  (match Supervisor.Checkpoint.load ~file:bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "an empty file is not a checkpoint");
+  Sys.remove bad
+
+let with_checkpoint_file f =
+  let file = Filename.temp_file "slimsim" ".ckpt" in
+  Sys.remove file;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () -> f file)
+
+let test_interrupt_and_resume () =
+  let net = load Slimsim_models.Gps.source in
+  let g = goal net Slimsim_models.Gps.goal_no_fix in
+  List.iter
+    (fun kind ->
+      let baseline = ok (run ~kind net g ~horizon:100.0) in
+      List.iter
+        (fun workers ->
+          with_checkpoint_file @@ fun file ->
+          let checkpoint = { Supervisor.file; every = 1 } in
+          let name =
+            Printf.sprintf "%s, %d workers"
+              (Generator.kind_to_string kind)
+              workers
+          in
+          (* Interrupt: a chaos hook raises the shared stop flag as soon
+             as any worker starts path 50 — long before either stopping
+             rule can be satisfied. *)
+          let stop = Atomic.make false in
+          let chaos ~worker:_ ~path = if path >= 50 then Atomic.set stop true in
+          let sup1 = Supervisor.create ~checkpoint ~stop ~chaos () in
+          let r1 = ok (run ~workers ~supervisor:sup1 ~kind net g ~horizon:100.0) in
+          Alcotest.(check bool)
+            (name ^ ": interrupted") true
+            (r1.Engine.stopped = Engine.Interrupted);
+          Alcotest.(check bool)
+            (name ^ ": partial estimate") true
+            (r1.Engine.paths < baseline.Engine.paths);
+          (* Resume: continues to the same final estimate as an
+             uninterrupted campaign. *)
+          let sup2 = Supervisor.create ~checkpoint ~resume:true () in
+          let r2 = ok (run ~workers ~supervisor:sup2 ~kind net g ~horizon:100.0) in
+          Alcotest.(check bool)
+            (name ^ ": resumed run converged") true
+            (r2.Engine.stopped = Engine.Converged);
+          same_estimate (name ^ ": resume = uninterrupted") r2 baseline;
+          (* Resuming a converged campaign is a no-op with the same
+             answer. *)
+          let sup3 = Supervisor.create ~checkpoint ~resume:true () in
+          let r3 = ok (run ~workers ~supervisor:sup3 ~kind net g ~horizon:100.0) in
+          same_estimate (name ^ ": resume after convergence") r3 baseline)
+        [ 1; 2; 4 ])
+    [ Generator.Chernoff; Generator.Chow_robbins ]
+
+let test_resume_mismatch () =
+  let net = load Slimsim_models.Gps.source in
+  let g = goal net Slimsim_models.Gps.goal_no_fix in
+  with_checkpoint_file @@ fun file ->
+  let checkpoint = { Supervisor.file; every = 1 } in
+  let sup = Supervisor.create ~checkpoint () in
+  let (_ : Engine.result) =
+    ok (run ~supervisor:sup ~seed:7L net g ~horizon:100.0)
+  in
+  let sup2 = Supervisor.create ~checkpoint ~resume:true () in
+  match run ~supervisor:sup2 ~seed:8L net g ~horizon:100.0 with
+  | Error (Path.Model_error msg) ->
+    Alcotest.(check bool) "mentions the seed" true
+      (Astring_contains.contains msg "seed")
+  | Ok _ -> Alcotest.fail "resuming under a different seed must fail"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Path.error_to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "watchdog: step budget" `Quick test_watchdog_steps;
+    Alcotest.test_case "watchdog: simulated-time budget" `Quick
+      test_watchdog_sim_time;
+    Alcotest.test_case "watchdog: wall budget" `Quick test_watchdog_wall;
+    Alcotest.test_case "divergence: abort policy" `Quick test_divergence_abort;
+    Alcotest.test_case "divergence: unsat policy" `Quick test_divergence_unsat;
+    Alcotest.test_case "divergence: drop policy re-plans" `Quick
+      test_divergence_drop;
+    Alcotest.test_case "divergence: drop stall guard" `Quick
+      test_drop_stall_guard;
+    Alcotest.test_case "crash recovery is invisible" `Quick test_crash_recovery;
+    Alcotest.test_case "restart budget aborts" `Quick
+      test_restart_budget_exhausted;
+    Alcotest.test_case "checkpoint round trip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "interrupt, resume, converge" `Quick
+      test_interrupt_and_resume;
+    Alcotest.test_case "resume rejects a mismatched seed" `Quick
+      test_resume_mismatch;
+  ]
