@@ -382,9 +382,9 @@ let micro ?(quick = false) ?(json = false) () =
       | Some cfg -> cfg
       | None -> Slimsim_sim.Path.default_config ~horizon:300.0
     in
-    fun seed ->
+    fun ?obs seed ->
       let rng = Slimsim_stats.Rng.for_path ~seed ~path:0 in
-      ignore (Slimsim_sim.Path.generate_compiled c s q cfg strategy rng)
+      ignore (Slimsim_sim.Path.generate_compiled ?obs c s q cfg strategy rng)
   in
   let sf2_c = one_path_compiled sf2_net sf2_goal Strategy.Asap in
   let gps_c =
@@ -495,6 +495,64 @@ let micro ?(quick = false) ?(json = false) () =
     Fmt.pr "  %-45s %13.2f%%@." "watchdog overhead (supervised vs compiled)" pct;
     Some pct
   in
+  (* observability overhead: each compiled one-path kernel measured with
+     metrics collection off (the default: every firing costs one branch
+     on an absent cell, exactly what an uninstrumented campaign pays)
+     and on (per-worker counters and log2 histograms live).  Same paired
+     interleaved best-of-9 protocol as the watchdog measurement, and for
+     the same reason: the effect is smaller than the OLS run-to-run
+     spread.  The disabled-path cost itself is tracked by the plain
+     *-compiled OLS rows above, whose names (and so their history in
+     BENCH_sim.json) predate the instrumentation. *)
+  let obs_overheads =
+    let module M = Slimsim_obs.Metrics in
+    (* cells are registered once, outside the timed region, like the
+       engine does at worker spawn *)
+    let cell = Slimsim_sim.Path.obs_cell ~worker:0 in
+    let measure (label, kernel, batch) =
+      let time_batch f =
+        let t0 = Unix.gettimeofday () in
+        for i = 1 to batch do
+          f (Int64.of_int i)
+        done;
+        Unix.gettimeofday () -. t0
+      in
+      let off seed = kernel ?obs:None seed in
+      let on seed = kernel ?obs:(Some cell) seed in
+      ignore (time_batch off);
+      M.set_enabled true;
+      ignore (time_batch on);
+      M.set_enabled false;
+      let toff = ref infinity and ton = ref infinity in
+      for _ = 1 to 9 do
+        toff := Float.min !toff (time_batch off);
+        M.set_enabled true;
+        ton := Float.min !ton (time_batch on);
+        M.set_enabled false
+      done;
+      let pct = 100.0 *. (!ton -. !toff) /. !toff in
+      Fmt.pr "  %-45s %13.2f%%@." ("obs overhead: " ^ label) pct;
+      (label, pct)
+    in
+    let overheads =
+      List.map measure
+        [
+          ("sensor-filter-compiled", sf2_c, 20_000);
+          ("gps-progressive-compiled", gps_c, 30_000);
+          ("gps-nominal-compiled", nominal_c, 100_000);
+        ]
+    in
+    M.reset ();
+    overheads
+  in
+  let overhead_rows =
+    (match watchdog_overhead with
+    | Some pct -> [ ("supervision:watchdog-overhead", pct) ]
+    | None -> [])
+    @ List.map
+        (fun (label, pct) -> ("observability:obs-overhead-" ^ label, pct))
+        obs_overheads
+  in
   if json then begin
     let oc = open_out "BENCH_sim.json" in
     let pr fmt = Printf.fprintf oc fmt in
@@ -503,14 +561,13 @@ let micro ?(quick = false) ?(json = false) () =
       (fun i (name, ns, per_sec, wall) ->
         pr "  {\"name\": %S, \"ns_per_run\": %.1f, \"paths_per_sec\": %.1f, \"wall_s\": %.3f}%s\n"
           name ns per_sec wall
-          (if i < List.length rows - 1 || watchdog_overhead <> None then ","
-           else ""))
+          (if i < List.length rows - 1 || overhead_rows <> [] then "," else ""))
       rows;
-    (match watchdog_overhead with
-    | Some pct ->
-      pr "  {\"name\": \"supervision:watchdog-overhead\", \"overhead_pct\": %.2f}\n"
-        pct
-    | None -> ());
+    List.iteri
+      (fun i (name, pct) ->
+        pr "  {\"name\": %S, \"overhead_pct\": %.2f}%s\n" name pct
+          (if i < List.length overhead_rows - 1 then "," else ""))
+      overhead_rows;
     pr "]\n";
     close_out oc;
     Fmt.pr "  wrote BENCH_sim.json (%d kernels)@." (List.length rows)

@@ -1,0 +1,56 @@
+(* Validate a JSONL event log: every line must parse as a JSON object
+   with the envelope fields the logger guarantees ("ts", "seq", "event"),
+   and the "seq" values must be consecutive from 0 (no torn or lost
+   writes).  Used by CI against the log produced by a smoke campaign.
+
+     jsonl_check FILE
+
+   Exit status: 0 valid, 1 malformed, 2 unreadable. *)
+
+module Json = Slimsim_obs.Json
+
+let fail line_no msg =
+  Printf.eprintf "jsonl_check: line %d: %s\n" line_no msg;
+  exit 1
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ ->
+      prerr_endline "usage: jsonl_check FILE";
+      exit 2
+  in
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      prerr_endline ("jsonl_check: " ^ msg);
+      exit 2
+  in
+  let events = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       let n = !events + 1 in
+       match Json.parse line with
+       | Error msg -> fail n ("parse error: " ^ msg)
+       | Ok json ->
+         (match Json.member "ts" json with
+         | Some (Json.Float _) -> ()
+         | _ -> fail n "missing or non-float \"ts\" field");
+         (match Json.member "seq" json with
+         | Some (Json.Int seq) when seq = !events -> ()
+         | Some (Json.Int seq) ->
+           fail n (Printf.sprintf "expected seq %d, got %d" !events seq)
+         | _ -> fail n "missing or non-integer \"seq\" field");
+         (match Json.member "event" json with
+         | Some (Json.String _) -> ()
+         | _ -> fail n "missing or non-string \"event\" field");
+         incr events
+     done
+   with End_of_file -> close_in_noerr ic);
+  if !events = 0 then begin
+    Printf.eprintf "jsonl_check: %s: no events\n" file;
+    exit 1
+  end;
+  Printf.printf "%s: %d events OK\n" file !events

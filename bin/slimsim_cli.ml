@@ -14,6 +14,9 @@ module S = Slimsim
 module Strategy = Slimsim_sim.Strategy
 module I = Slimsim_intervals.Interval_set
 module Diag = Slimsim_analyze.Diagnostic
+module Metrics = Slimsim_obs.Metrics
+module Log = Slimsim_obs.Log
+module Json = Slimsim_obs.Json
 
 let load file =
   match S.load_file file with
@@ -103,16 +106,30 @@ let no_lint_arg =
     & info [ "no-lint" ] ~doc:"Skip the static-analysis pass before simulating.")
 
 (* Advisory lint pass run automatically before simulation; findings go
-   to stderr and never block the run. *)
+   to stderr and never block the run.  The summary is routed through the
+   structured logger so a campaign driven with --log-json keeps a
+   machine-readable record of pre-run findings; the rendered diagnostics
+   stay on stderr for humans. *)
 let advisory_lint ~no_lint file m =
   if not no_lint then begin
     match S.lint m with
     | [] -> ()
     | diags ->
+      let n = List.length diags in
+      Log.warn
+        ~fields:
+          [
+            ("source", Json.String "lint");
+            ("model", Json.String file);
+            ("findings", Json.Int n);
+          ]
+        (Printf.sprintf "static analysis reported %d finding%s on %s" n
+           (if n = 1 then "" else "s")
+           file);
       Fmt.epr "%s@." (Diag.render_text diags);
-      Fmt.epr "(static analysis of %s; run 'slimsim lint %s' to triage, or \
-               pass --no-lint to silence)@."
-        file file
+      Fmt.epr "(run 'slimsim lint %s' to triage, or pass --no-lint to \
+               silence)@."
+        file
   end
 
 let lint_cmd =
@@ -268,45 +285,133 @@ let simulate_cmd =
             "Continue from the --checkpoint file if it exists (fresh start \
              otherwise).  The resumed campaign reaches the same verdict \
              stream and final estimate as an uninterrupted run.")
+  and metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect campaign metrics (phase timings, steps per path, \
+             firings by kind, verdict breakdown, per-worker utilization, \
+             buffer occupancy, restarts, checkpoint writes) and write them \
+             to $(docv) in Prometheus text format, atomically, at exit and \
+             at every checkpoint.  Collection never changes the verdict \
+             stream: estimates are bit-identical with or without this flag.")
+  and log_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-json" ] ~docv:"FILE"
+          ~doc:
+            "Append structured campaign events to $(docv), one JSON object \
+             per line: campaign configuration, phase timings, worker \
+             lifecycle, divergences, warnings, checkpoints and the final \
+             summary.")
+  and progress =
+    Arg.(
+      value
+      & opt ~vopt:(Some 1.0) (some float) None
+      & info [ "progress" ] ~docv:"SECONDS"
+          ~doc:
+            "Print a single-line heartbeat to stderr (paths consumed, \
+             paths/s, running estimate and achieved half-width), at most \
+             once per $(docv) seconds (default 1; use --progress=$(docv) to \
+             override).")
   in
   let run file prop strategy delta eps workers generator deadlock_error engine
       on_error seed no_lint max_steps max_sim_time max_wall_per_path
-      on_divergence checkpoint checkpoint_every resume =
-    let m = or_die (load file) in
+      on_divergence checkpoint checkpoint_every resume metrics log_json
+      progress =
+    (* Observability comes up before the model loads so the front-end
+       phase timings land in the metrics and the event log. *)
+    if metrics <> None then Metrics.set_enabled true;
+    let log_teardown =
+      match log_json with
+      | None -> Fun.id
+      | Some file ->
+        let write, close = Log.file_sink file in
+        Log.set_sink (Some write);
+        fun () ->
+          Log.set_sink None;
+          close ()
+    in
+    let teardown () =
+      Option.iter Metrics.write_file metrics;
+      log_teardown ()
+    in
+    let die code msg =
+      prerr_endline msg;
+      teardown ();
+      exit code
+    in
+    let m =
+      match load file with Ok m -> m | Error e -> die 1 e
+    in
     advisory_lint ~no_lint file m;
     let on_deadlock = if deadlock_error then `Error else `Falsify in
-    if resume && checkpoint = None then begin
-      prerr_endline "slimsim: --resume requires --checkpoint FILE";
-      exit 1
-    end;
+    if resume && checkpoint = None then
+      die 1 "slimsim: --resume requires --checkpoint FILE";
     let checkpoint =
       Option.map
         (fun file -> { Slimsim_sim.Supervisor.file; every = checkpoint_every })
         checkpoint
     in
     let supervisor =
-      Slimsim_sim.Supervisor.create ~on_divergence ?checkpoint ~resume ()
+      Slimsim_sim.Supervisor.create ~on_divergence ?checkpoint ~resume
+        ?metrics_file:metrics ()
     in
     Slimsim_sim.Supervisor.install_signal_handlers supervisor;
+    let progress =
+      Option.map (fun interval -> Slimsim_obs.Progress.create ~interval ()) progress
+    in
+    Log.emit ~event:"campaign_start"
+      [
+        ("model", Json.String file);
+        ("property", Json.String prop);
+        ("strategy", Json.String (Strategy.to_string strategy));
+        ("delta", Json.Float delta);
+        ("eps", Json.Float eps);
+        ("workers", Json.Int workers);
+        ("seed", Json.String (Int64.to_string seed));
+        ("generator", Json.String (S.Generator.kind_to_string generator));
+        ( "engine",
+          Json.String
+            (match engine with
+            | `Compiled -> "compiled"
+            | `Interpreted -> "interpreted") );
+        ( "on_divergence",
+          Json.String
+            (Slimsim_sim.Supervisor.divergence_policy_to_string on_divergence)
+        );
+      ];
     match
       S.check ~workers ~seed ~generator ~on_deadlock ~engine ~on_error
-        ~supervisor ~max_steps ?max_sim_time ?max_wall_per_path m
+        ~supervisor ?progress ~max_steps ?max_sim_time ?max_wall_per_path m
         ~property:prop ~strategy ~delta ~eps ()
     with
     | Ok r ->
       Fmt.pr "%a@." S.pp_estimate r;
       if r.S.interrupted then begin
-        Fmt.epr
-          "slimsim: interrupted after %d paths; achieved half-width %.6f \
-           (requested %g)@."
-          r.S.paths
-          ((r.S.ci_high -. r.S.ci_low) /. 2.0)
-          eps;
+        let half = (r.S.ci_high -. r.S.ci_low) /. 2.0 in
+        Log.warn
+          ~fields:
+            [
+              ("source", Json.String "interrupt");
+              ("paths", Json.Int r.S.paths);
+              ("achieved_half_width", Json.Float half);
+              ("requested_eps", Json.Float eps);
+            ]
+          (Printf.sprintf
+             "interrupted after %d paths; achieved half-width %.6f (requested \
+              %g)"
+             r.S.paths half eps);
+        teardown ();
         exit 4
       end
+      else teardown ()
     | Error e ->
-      prerr_endline e;
-      exit 1
+      Log.emit ~event:"campaign_error" [ ("error", Json.String e) ];
+      die 1 e
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -320,7 +425,7 @@ let simulate_cmd =
       const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
       $ generator $ deadlock_error $ engine $ on_error $ seed_arg $ no_lint_arg
       $ max_steps $ max_sim_time $ max_wall_per_path $ on_divergence
-      $ checkpoint $ checkpoint_every $ resume)
+      $ checkpoint $ checkpoint_every $ resume $ metrics $ log_json $ progress)
 
 (* --- exact --- *)
 

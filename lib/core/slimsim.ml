@@ -44,9 +44,9 @@ type estimate = {
 }
 
 let check ?workers ?seed ?(generator = Generator.Chernoff)
-    ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor ?max_steps
-    ?max_sim_time ?max_wall_per_path (m : model) ~property ~strategy ~delta
-    ~eps () =
+    ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor ?progress
+    ?max_steps ?max_sim_time ?max_wall_per_path (m : model) ~property ~strategy
+    ~delta ~eps () =
   let* goal, hold, horizon, complement = parse_pattern_full m property in
   let gen = Generator.create generator ~delta ~eps in
   let config =
@@ -60,8 +60,8 @@ let check ?workers ?seed ?(generator = Generator.Chernoff)
     }
   in
   match
-    Engine.run ?workers ?seed ~config ?engine ?on_error ?supervisor ?hold
-      m.Loader.network ~goal ~horizon ~strategy ~generator:gen ()
+    Engine.run ?workers ?seed ~config ?engine ?on_error ?supervisor ?progress
+      ?hold m.Loader.network ~goal ~horizon ~strategy ~generator:gen ()
   with
   | Ok r ->
     (* invariance patterns report the complement; "successes" keeps

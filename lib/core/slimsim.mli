@@ -75,6 +75,7 @@ val check :
   ?engine:[ `Compiled | `Interpreted ] ->
   ?on_error:[ `Abort | `Unsat ] ->
   ?supervisor:Slimsim_sim.Supervisor.t ->
+  ?progress:Slimsim_obs.Progress.t ->
   ?max_steps:int ->
   ?max_sim_time:float ->
   ?max_wall_per_path:float ->

@@ -1,0 +1,23 @@
+(** Minimal JSON values: just enough to emit structured event lines and
+    to parse them back in tests and validators.  No external
+    dependencies; non-finite floats are emitted as the strings ["nan"],
+    ["inf"], ["-inf"] so every emitted line is valid JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering with full string escaping. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value (surrounding whitespace allowed;
+    trailing garbage is an error). *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] looks up a field; [None] on non-objects. *)

@@ -1,0 +1,57 @@
+(* Structured JSONL event log.  One sink at a time (the CLI's
+   [--log-json FILE], or a test harness capturing lines); events are
+   rare — campaign lifecycle, phase timings, warnings, worker crashes —
+   so a mutex around emission is fine, and it is required: workers emit
+   their dying words from their own domains. *)
+
+type sink = { write : string -> unit; mutable seq : int }
+
+let sink_mutex = Mutex.create ()
+let sink : sink option ref = ref None
+
+let set_sink write =
+  Mutex.lock sink_mutex;
+  sink := Option.map (fun write -> { write; seq = 0 }) write;
+  Mutex.unlock sink_mutex
+
+let active () = !sink <> None
+
+let emit ~event fields =
+  match !sink with
+  | None -> ()
+  | Some _ ->
+    (* Timestamp outside the lock; re-check inside (the sink can be
+       removed concurrently at campaign teardown). *)
+    let ts = Unix.gettimeofday () in
+    Mutex.lock sink_mutex;
+    (match !sink with
+    | None -> ()
+    | Some s ->
+      let line =
+        Json.to_string
+          (Json.Obj
+             (("ts", Json.Float ts)
+             :: ("seq", Json.Int s.seq)
+             :: ("event", Json.String event)
+             :: fields))
+      in
+      s.seq <- s.seq + 1;
+      s.write line);
+    Mutex.unlock sink_mutex
+
+(* A warning always reaches stderr (the pre-observability behaviour);
+   with a sink installed it is also captured as a structured event so
+   campaigns driven by --log-json keep a machine-readable record and
+   tests can assert on it. *)
+let warn ?(fields = []) msg =
+  Printf.eprintf "slimsim: warning: %s\n%!" msg;
+  emit ~event:"warning" (("message", Json.String msg) :: fields)
+
+let file_sink file =
+  let oc = open_out file in
+  let write line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  (write, fun () -> close_out_noerr oc)

@@ -1,0 +1,27 @@
+(** Structured JSONL event log for campaigns.
+
+    Events are emitted only while a sink is installed; without one,
+    {!emit} is a single load and return.  Every line is one JSON object
+    with [ts] (Unix seconds), [seq] (per-sink sequence number), [event]
+    (the kind) and event-specific fields — see docs/OBSERVABILITY.md for
+    the schema. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Install (or remove, with [None]) the line sink.  The callback
+    receives one serialized JSON object per event, without the trailing
+    newline.  Emission is serialized by a mutex: workers may emit from
+    their own domains. *)
+
+val active : unit -> bool
+
+val emit : event:string -> (string * Json.t) list -> unit
+(** Emit one event; no-op without a sink. *)
+
+val warn : ?fields:(string * Json.t) list -> string -> unit
+(** Print [slimsim: warning: <msg>] to stderr (always), and emit a
+    ["warning"] event carrying the message when a sink is installed. *)
+
+val file_sink : string -> (string -> unit) * (unit -> unit)
+(** [file_sink file] opens [file] for writing and returns
+    [(write_line, close)]; each line is flushed so a crashed campaign
+    still leaves a readable prefix. *)

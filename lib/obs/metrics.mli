@@ -1,0 +1,56 @@
+(** Campaign metrics: counters, log-bucketed histograms and timers.
+
+    Every series (name + labels) is a single mutable cell owned by one
+    domain by construction — workers record into their own labeled
+    children (e.g. [~labels:["worker", "3"]]), so instrumentation never
+    synchronizes across domains.  Cells are merged only at collection
+    points ({!render} / {!write_file}); a mid-run exposition reads
+    worker cells with plain loads, which in OCaml can be stale but never
+    torn, so mid-run snapshots are approximate for in-flight series and
+    exact once the owning domains have been joined.
+
+    The whole subsystem is gated by a global flag (default off): every
+    recording entry point is one atomic load and a branch when disabled,
+    and verdict streams are bit-identical either way — instrumentation
+    performs no RNG draws and never touches simulation state. *)
+
+type counter
+type histogram
+
+val set_enabled : bool -> unit
+(** Master switch, default [false].  Enable before the campaign starts
+    (the engine and path generators read it when workers spawn). *)
+
+val enabled : unit -> bool
+
+val counter : ?labels:(string * string) list -> string -> help:string -> counter
+(** Find or create the series [name{labels}]; the same arguments return
+    the same cell, so a respawned worker keeps its counts. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val histogram : ?labels:(string * string) list -> string -> help:string -> histogram
+(** Log2-bucketed: bucket 0 holds observations [<= 0], then one bucket
+    per power of two from [2^-32] to [2^31], plus overflow. *)
+
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall-clock duration in seconds; when
+    disabled, calls the thunk with no clock reads. *)
+
+val counter_value : counter -> int
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val reset : unit -> unit
+(** Zero every registered cell (tests, or a fresh campaign in-process). *)
+
+val render : unit -> string
+(** Prometheus text exposition (0.0.4): [# HELP]/[# TYPE] per family,
+    cumulative [_bucket{le=...}] lines with empty buckets elided, and
+    [_sum]/[_count] per histogram series. *)
+
+val write_file : string -> unit
+(** Atomically (tmp + rename) write {!render} to a file. *)

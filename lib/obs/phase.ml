@@ -1,0 +1,23 @@
+(* Pipeline phase timing: one histogram series per phase name
+   ([slimsim_phase_seconds{phase="parse"}], …) plus a "phase" event in
+   the JSONL log.  When neither metrics nor the event log is active the
+   thunk runs with no clock reads at all — front-end phases are cold
+   paths, but the loader is also on the benchmark floor. *)
+
+let run name f =
+  if not (Metrics.enabled () || Log.active ()) then f ()
+  else begin
+    let h =
+      Metrics.histogram
+        ~labels:[ ("phase", name) ]
+        "slimsim_phase_seconds" ~help:"Wall time of pipeline phases"
+    in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        Metrics.observe h dt;
+        Log.emit ~event:"phase"
+          [ ("phase", Json.String name); ("seconds", Json.Float dt) ])
+      f
+  end

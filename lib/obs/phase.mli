@@ -1,0 +1,5 @@
+val run : string -> (unit -> 'a) -> 'a
+(** [run name f] times [f] into the histogram
+    [slimsim_phase_seconds{phase=name}] and emits a ["phase"] event to
+    the JSONL log.  With metrics disabled and no log sink installed it
+    is exactly [f ()] — no clock reads, no registration. *)

@@ -1,0 +1,45 @@
+(* Single-line campaign heartbeat on stderr: paths consumed, throughput
+   over the last interval, the running estimate and its achieved
+   half-width.  Owned and ticked by the collector (one domain), so no
+   synchronization; the throttle is one clock read per tick, and ticks
+   happen once per consumed sample — off the per-step hot path. *)
+
+type t = {
+  interval : float;
+  out : out_channel;
+  mutable started : float;
+  mutable last_print : float;
+  mutable last_paths : int;
+  mutable printed : bool;  (* something is on the line (needs clearing) *)
+}
+
+let create ?(interval = 1.0) ?(out = stderr) () =
+  if interval <= 0.0 then invalid_arg "Progress.create: interval must be positive";
+  let now = Unix.gettimeofday () in
+  { interval; out; started = now; last_print = now; last_paths = 0; printed = false }
+
+let line t ~now ~paths ~mean ~half_width =
+  let dt = now -. t.last_print in
+  let rate =
+    if dt > 0.0 then float_of_int (paths - t.last_paths) /. dt else 0.0
+  in
+  Printf.sprintf "slimsim: %9d paths  %8.0f paths/s  p ~ %.6f  +/- %.6f  %.0fs"
+    paths rate mean half_width (now -. t.started)
+
+let tick t ~paths stats =
+  let now = Unix.gettimeofday () in
+  if now -. t.last_print >= t.interval then begin
+    let mean, half_width = stats () in
+    (* \r + clear-to-eol keeps shrinking lines tidy on a real terminal
+       and is harmless when stderr is a file. *)
+    Printf.fprintf t.out "\r\027[K%s%!" (line t ~now ~paths ~mean ~half_width);
+    t.last_print <- now;
+    t.last_paths <- paths;
+    t.printed <- true
+  end
+
+let finish t =
+  if t.printed then begin
+    Printf.fprintf t.out "\r\027[K%!";
+    t.printed <- false
+  end

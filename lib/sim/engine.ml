@@ -1,6 +1,10 @@
 module Rng = Slimsim_stats.Rng
 module Generator = Slimsim_stats.Generator
 module Estimator = Slimsim_stats.Estimator
+module Metrics = Slimsim_obs.Metrics
+module Log = Slimsim_obs.Log
+module Json = Slimsim_obs.Json
+module Progress = Slimsim_obs.Progress
 
 type stop_reason = Converged | Interrupted
 
@@ -39,6 +43,64 @@ let new_tally () =
    This many dropped samples in a row abort instead. *)
 let drop_stall_limit = 10_000
 
+(* Collector-side metric cells, created once per run when metrics are
+   enabled and touched only by the collecting thread (the run_sequential
+   loop, or the parallel collector) — single-writer like the per-worker
+   path cells. *)
+type run_obs = {
+  v_sat : Metrics.counter;
+  v_unsat_horizon : Metrics.counter;
+  v_deadlock : Metrics.counter;
+  v_timelock : Metrics.counter;
+  v_violated : Metrics.counter;
+  v_diverged : Metrics.counter;
+  v_error : Metrics.counter;
+  o_dropped : Metrics.counter;
+  o_restarts : Metrics.counter;
+  o_checkpoints : Metrics.counter;
+  o_checkpoint_seconds : Metrics.histogram;
+  o_buffer : Metrics.histogram;
+}
+
+let make_run_obs () =
+  if not (Metrics.enabled ()) then None
+  else
+    let vhelp = "Consumed samples by verdict" in
+    let v kind =
+      Metrics.counter ~labels:[ ("verdict", kind) ] "slimsim_verdicts_total"
+        ~help:vhelp
+    in
+    Some
+      {
+        v_sat = v "sat";
+        v_unsat_horizon = v "unsat_horizon";
+        v_deadlock = v "unsat_deadlock";
+        v_timelock = v "unsat_timelock";
+        v_violated = v "unsat_violated";
+        v_diverged = v "diverged";
+        v_error = v "error";
+        o_dropped =
+          Metrics.counter "slimsim_dropped_paths_total"
+            ~help:"Diverged paths discarded under the `drop' policy";
+        o_restarts =
+          Metrics.counter "slimsim_worker_restarts_total"
+            ~help:"Crashed workers brought back up";
+        o_checkpoints =
+          Metrics.counter "slimsim_checkpoints_total"
+            ~help:"Checkpoint files written";
+        o_checkpoint_seconds =
+          Metrics.histogram "slimsim_checkpoint_seconds"
+            ~help:"Wall-clock seconds per checkpoint write";
+        o_buffer =
+          Metrics.histogram "slimsim_buffer_occupancy"
+            ~help:
+              "Samples queued in the popped worker buffer when the collector \
+               takes one";
+      }
+
+let robs_incr robs field =
+  match robs with Some r -> Metrics.incr (field r) | None -> ()
+
 (* Route one sample through the error and divergence policies.  An
    errored or diverged path under the [`Unsat] policy is fed as a
    failure (conservative for reachability estimates: it can only lower
@@ -46,9 +108,16 @@ let drop_stall_limit = 10_000
    feeding it, so the stopping rule keeps asking for more — the
    re-planning is implicit in [Generator.needs_more] seeing fewer
    trials. *)
-let consume ~on_error ~on_divergence gen tally = function
+let consume ?robs ~on_error ~on_divergence ~path gen tally = function
   | Ok (Path.Diverged d) -> (
     tally.diverged <- tally.diverged + 1;
+    robs_incr robs (fun r -> r.v_diverged);
+    Log.emit ~event:"divergence"
+      [
+        ("path", Json.Int path);
+        ("kind", Json.String (Path.divergence_to_string d));
+        ("policy", Json.String (Supervisor.divergence_policy_to_string on_divergence));
+      ];
     match on_divergence with
     | `Abort -> `Abort (Path.Diverged_path d)
     | `Unsat ->
@@ -58,6 +127,7 @@ let consume ~on_error ~on_divergence gen tally = function
     | `Drop ->
       tally.dropped <- tally.dropped + 1;
       tally.consec_dropped <- tally.consec_dropped + 1;
+      robs_incr robs (fun r -> r.o_dropped);
       if tally.consec_dropped >= drop_stall_limit then
         `Abort
           (Path.Model_error
@@ -74,9 +144,29 @@ let consume ~on_error ~on_divergence gen tally = function
       tally.deadlocks <- tally.deadlocks + 1
     | Path.Unsat_violated _ -> tally.violated <- tally.violated + 1
     | Path.Sat _ | Path.Unsat_horizon | Path.Diverged _ -> ());
+    (match robs with
+    | Some r ->
+      Metrics.incr
+        (match v with
+        | Path.Sat _ -> r.v_sat
+        | Path.Unsat_horizon -> r.v_unsat_horizon
+        | Path.Unsat_deadlock -> r.v_deadlock
+        | Path.Unsat_timelock -> r.v_timelock
+        | Path.Unsat_violated _ -> r.v_violated
+        | Path.Diverged _ -> r.v_diverged)
+    | None -> ());
     Generator.feed gen (match v with Path.Sat _ -> true | _ -> false);
     `Fed
   | Error e -> (
+    robs_incr robs (fun r -> r.v_error);
+    Log.emit ~event:"path_error"
+      [
+        ("path", Json.Int path);
+        ("error", Json.String (Path.error_to_string e));
+        ( "policy",
+          Json.String (match on_error with `Abort -> "abort" | `Unsat -> "unsat")
+        );
+      ];
     match on_error with
     | `Abort -> `Abort e
     | `Unsat ->
@@ -88,21 +178,44 @@ let consume ~on_error ~on_divergence gen tally = function
 let finish gen tally ~stopped wall =
   let est = Generator.estimator gen in
   let lo, hi = Estimator.confidence_interval est ~delta:(Generator.delta gen) in
-  {
-    probability = Estimator.mean est;
-    ci_low = lo;
-    ci_high = hi;
-    paths = Estimator.trials est;
-    successes = Estimator.successes est;
-    deadlock_paths = tally.deadlocks;
-    violated_paths = tally.violated;
-    errors = tally.errors;
-    diverged_paths = tally.diverged;
-    dropped_paths = tally.dropped;
-    worker_restarts = tally.restarts;
-    stopped;
-    wall_seconds = wall;
-  }
+  let r =
+    {
+      probability = Estimator.mean est;
+      ci_low = lo;
+      ci_high = hi;
+      paths = Estimator.trials est;
+      successes = Estimator.successes est;
+      deadlock_paths = tally.deadlocks;
+      violated_paths = tally.violated;
+      errors = tally.errors;
+      diverged_paths = tally.diverged;
+      dropped_paths = tally.dropped;
+      worker_restarts = tally.restarts;
+      stopped;
+      wall_seconds = wall;
+    }
+  in
+  Log.emit ~event:"campaign_end"
+    [
+      ( "stopped",
+        Json.String
+          (match stopped with
+          | Converged -> "converged"
+          | Interrupted -> "interrupted") );
+      ("probability", Json.Float r.probability);
+      ("ci_low", Json.Float r.ci_low);
+      ("ci_high", Json.Float r.ci_high);
+      ("paths", Json.Int r.paths);
+      ("successes", Json.Int r.successes);
+      ("deadlock_paths", Json.Int r.deadlock_paths);
+      ("violated_paths", Json.Int r.violated_paths);
+      ("errors", Json.Int r.errors);
+      ("diverged_paths", Json.Int r.diverged_paths);
+      ("dropped_paths", Json.Int r.dropped_paths);
+      ("worker_restarts", Json.Int r.worker_restarts);
+      ("wall_seconds", Json.Float r.wall_seconds);
+    ];
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing glue: the campaign state is (seed, path cursor,
@@ -125,16 +238,44 @@ let checkpoint_state gen tally ~seed ~next_path =
     dropped = tally.dropped;
   }
 
-let save_checkpoint sup gen tally ~seed ~next_path =
+(* One checkpoint write, observed: the save is counted and timed, the
+   metric registry is re-exported next to it (so a crashed campaign
+   leaves current metrics behind along with its progress), and a
+   "checkpoint" event is logged.  All of that is skipped — leaving the
+   bare historical save — when observability is off. *)
+let write_checkpoint ?robs sup ~file st =
+  let observed = robs <> None || Log.active () in
+  if not observed then Supervisor.Checkpoint.save ~file st
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Supervisor.Checkpoint.save ~file st;
+    (match sup.Supervisor.metrics_file with
+    | Some mf when Metrics.enabled () -> Metrics.write_file mf
+    | _ -> ());
+    let dt = Unix.gettimeofday () -. t0 in
+    (match robs with
+    | Some r ->
+      Metrics.incr r.o_checkpoints;
+      Metrics.observe r.o_checkpoint_seconds dt
+    | None -> ());
+    Log.emit ~event:"checkpoint"
+      [
+        ("file", Json.String file);
+        ("next_path", Json.Int st.Supervisor.Checkpoint.next_path);
+        ("seconds", Json.Float dt);
+      ]
+  end
+
+let save_checkpoint ?robs sup gen tally ~seed ~next_path =
   match sup.Supervisor.checkpoint with
   | Some { Supervisor.file; _ } ->
-    Supervisor.Checkpoint.save ~file (checkpoint_state gen tally ~seed ~next_path)
+    write_checkpoint ?robs sup ~file (checkpoint_state gen tally ~seed ~next_path)
   | None -> ()
 
-let maybe_checkpoint sup gen tally ~seed ~next_path =
+let maybe_checkpoint ?robs sup gen tally ~seed ~next_path =
   match sup.Supervisor.checkpoint with
   | Some { Supervisor.file; every } when next_path mod every = 0 ->
-    Supervisor.Checkpoint.save ~file (checkpoint_state gen tally ~seed ~next_path)
+    write_checkpoint ?robs sup ~file (checkpoint_state gen tally ~seed ~next_path)
   | _ -> ()
 
 let resume_base sup gen tally ~seed =
@@ -183,31 +324,65 @@ let resume_base sup gen tally ~seed =
    is a fresh factory call, and path [id] always draws from an RNG
    derived from [(seed, id)] alone, so any path a dying worker lost is
    regenerated bit-identically by its successor. *)
+(* Per-worker observability: the path generator's cell plus a
+   path-duration histogram, both labeled [worker="<w>"] and created in
+   the worker's own domain (the factory runs there), so every series has
+   a single writer.  [None] when metrics are off — the runner then calls
+   the generator directly, with no clock reads. *)
+let worker_obs ~worker =
+  if not (Metrics.enabled ()) then (None, None)
+  else
+    ( Some (Path.obs_cell ~worker),
+      Some
+        (Metrics.histogram
+           ~labels:[ ("worker", string_of_int worker) ]
+           "slimsim_worker_path_seconds"
+           ~help:"Wall-clock seconds spent generating each path, per worker") )
+
+let timed secs f = match secs with None -> f () | Some h -> Metrics.time h f
+
 let make_runner ~engine ~seed ~hold cfg net ~goal ~strategy =
   match engine with
   | `Interpreted ->
-    fun () id ->
-      let rng = Rng.for_path ~seed ~path:id in
-      fst (Path.generate ~hold net cfg strategy rng ~goal)
+    fun ~worker () ->
+      let obs, secs = worker_obs ~worker in
+      fun id ->
+        let rng = Rng.for_path ~seed ~path:id in
+        timed secs (fun () -> fst (Path.generate ~hold ?obs net cfg strategy rng ~goal))
   | `Compiled ->
     let c = Slimsim_sta.Compiled.compile net in
     let q = Path.compile_query ~hold c ~goal in
-    fun () ->
+    fun ~worker () ->
+      let obs, secs = worker_obs ~worker in
       let s = Slimsim_sta.Compiled.scratch c in
       fun id ->
         let rng = Rng.for_path ~seed ~path:id in
-        Path.generate_compiled c s q cfg strategy rng
+        timed secs (fun () -> Path.generate_compiled ?obs c s q cfg strategy rng)
 
-let run_sequential ~sup ~on_error ~seed ~generator make_runner =
+(* The heartbeat is ticked once per consumed sample; the (mean,
+   half-width) closure is only evaluated when a line actually prints. *)
+let progress_tick progress generator =
+  match progress with
+  | None -> ()
+  | Some p ->
+    let est = Generator.estimator generator in
+    Progress.tick p ~paths:(Estimator.trials est) (fun () ->
+        let lo, hi =
+          Estimator.confidence_interval est ~delta:(Generator.delta generator)
+        in
+        (Estimator.mean est, (hi -. lo) /. 2.0))
+
+let run_sequential ~sup ~on_error ~seed ~generator ~progress make_runner =
   let tally = new_tally () in
   let t0 = Unix.gettimeofday () in
   match resume_base sup generator tally ~seed with
   | Error e -> Error e
   | Ok base ->
+    let robs = make_run_obs () in
     let on_divergence = sup.Supervisor.on_divergence in
-    let runner = ref (make_runner ()) in
+    let runner = ref (make_runner ~worker:0 ()) in
     let finish_with stopped next_path =
-      save_checkpoint sup generator tally ~seed ~next_path;
+      save_checkpoint ?robs sup generator tally ~seed ~next_path;
       Ok (finish generator tally ~stopped (Unix.gettimeofday () -. t0))
     in
     (* A runner exception is a "worker crash" even in-process: rebuild
@@ -227,8 +402,16 @@ let run_sequential ~sup ~on_error ~seed ~generator make_runner =
           Error (Path.Worker_crash (Printexc.to_string exn))
         else begin
           tally.restarts <- tally.restarts + 1;
+          robs_incr robs (fun r -> r.o_restarts);
+          Log.emit ~event:"worker_restart"
+            [
+              ("worker", Json.Int 0);
+              ("path", Json.Int i);
+              ("error", Json.String (Printexc.to_string exn));
+              ("attempt", Json.Int (tries + 1));
+            ];
           Unix.sleepf (Supervisor.backoff_delay sup ~attempt:tries);
-          runner := make_runner ();
+          runner := make_runner ~worker:0 ();
           attempt (tries + 1) i
         end
     in
@@ -239,10 +422,13 @@ let run_sequential ~sup ~on_error ~seed ~generator make_runner =
         match attempt 0 i with
         | Error e -> Error e
         | Ok sample -> (
-          match consume ~on_error ~on_divergence generator tally sample with
+          match
+            consume ?robs ~on_error ~on_divergence ~path:i generator tally sample
+          with
           | `Abort e -> Error e
           | `Fed | `Dropped ->
-            maybe_checkpoint sup generator tally ~seed ~next_path:(i + 1);
+            maybe_checkpoint ?robs sup generator tally ~seed ~next_path:(i + 1);
+            progress_tick progress generator;
             go (i + 1))
     in
     go base
@@ -270,12 +456,14 @@ type buffer = {
 
 let max_buffer = 256
 
-let run_parallel ~workers:k ~sup ~on_error ~seed ~generator make_runner =
+let run_parallel ~workers:k ~sup ~on_error ~seed ~generator ~progress make_runner
+    =
   let t0 = Unix.gettimeofday () in
   let tally = new_tally () in
   match resume_base sup generator tally ~seed with
   | Error e -> Error e
   | Ok base ->
+    let robs = make_run_obs () in
     let on_divergence = sup.Supervisor.on_divergence in
     let stop = Atomic.make false in
     let buffers =
@@ -313,7 +501,9 @@ let run_parallel ~workers:k ~sup ~on_error ~seed ~generator make_runner =
        where the lost path's sample would have been. *)
     let worker w start () =
       match
-        let runner = make_runner () in
+        Log.emit ~event:"worker_start"
+          [ ("worker", Json.Int w); ("first_path", Json.Int start) ];
+        let runner = make_runner ~worker:w () in
         let rec go id =
           if Atomic.get stop then ()
           else begin
@@ -329,6 +519,14 @@ let run_parallel ~workers:k ~sup ~on_error ~seed ~generator make_runner =
       with
       | () -> ()
       | exception exn -> push_dying buffers.(w) (Crashed (Printexc.to_string exn))
+    in
+    (* The collector owns the occupancy histogram: observed under the
+       buffer lock just before each pop, it records how far ahead the
+       popped worker was running. *)
+    let observe_occupancy q =
+      match robs with
+      | Some r -> Metrics.observe r.o_buffer (float_of_int (Queue.length q))
+      | None -> ()
     in
     let domains = Array.make k None in
     let spawn w start = domains.(w) <- Some (Domain.spawn (worker w start)) in
@@ -360,6 +558,7 @@ let run_parallel ~workers:k ~sup ~on_error ~seed ~generator make_runner =
       while Queue.is_empty b.q do
         Condition.wait b.not_empty b.mutex
       done;
+      observe_occupancy b.q;
       let slot = Queue.pop b.q in
       Condition.signal b.not_full;
       Mutex.unlock b.mutex;
@@ -369,7 +568,7 @@ let run_parallel ~workers:k ~sup ~on_error ~seed ~generator make_runner =
     let consumed = ref 0 in
     let finish_with stopped =
       halt ();
-      save_checkpoint sup generator tally ~seed ~next_path:(base + !consumed);
+      save_checkpoint ?robs sup generator tally ~seed ~next_path:(base + !consumed);
       Ok (finish generator tally ~stopped (Unix.gettimeofday () -. t0))
     in
     let fail e =
@@ -390,31 +589,48 @@ let run_parallel ~workers:k ~sup ~on_error ~seed ~generator make_runner =
              seeds, so the verdict stream is bit-identical to a
              crash-free run. *)
           join w;
+          Log.emit ~event:"worker_crash"
+            [
+              ("worker", Json.Int w);
+              ("path", Json.Int (base + !consumed));
+              ("error", Json.String msg);
+            ];
           if restarts.(w) >= sup.Supervisor.max_restarts then
             fail (Path.Worker_crash (Printf.sprintf "worker %d: %s" w msg))
           else begin
             let attempt = restarts.(w) in
             restarts.(w) <- restarts.(w) + 1;
             tally.restarts <- tally.restarts + 1;
+            robs_incr robs (fun r -> r.o_restarts);
+            Log.emit ~event:"worker_restart"
+              [
+                ("worker", Json.Int w);
+                ("path", Json.Int (base + !consumed));
+                ("attempt", Json.Int (attempt + 1));
+              ];
             Unix.sleepf (Supervisor.backoff_delay sup ~attempt);
             spawn w (base + !consumed);
             collect ()
           end
         | Sample sample -> (
+          let path = base + !consumed in
           incr consumed;
-          match consume ~on_error ~on_divergence generator tally sample with
+          match
+            consume ?robs ~on_error ~on_divergence ~path generator tally sample
+          with
           | `Abort e -> fail e
           | `Fed | `Dropped ->
-            maybe_checkpoint sup generator tally ~seed
+            maybe_checkpoint ?robs sup generator tally ~seed
               ~next_path:(base + !consumed);
+            progress_tick progress generator;
             collect ())
       end
     in
     collect ()
 
 let run ?(workers = 1) ?(seed = 0x51135113L) ?config ?(engine = `Compiled)
-    ?(on_error = `Abort) ?(hold = Slimsim_sta.Expr.true_) ?supervisor net ~goal
-    ~horizon ~strategy ~generator () =
+    ?(on_error = `Abort) ?(hold = Slimsim_sta.Expr.true_) ?supervisor ?progress
+    net ~goal ~horizon ~strategy ~generator () =
   let sup =
     match supervisor with Some s -> s | None -> Supervisor.default ()
   in
@@ -434,23 +650,29 @@ let run ?(workers = 1) ?(seed = 0x51135113L) ?config ?(engine = `Compiled)
   let workers =
     match strategy with
     | Strategy.Scripted _ when workers > 1 ->
-      Printf.eprintf
-        "slimsim: warning: scripted strategies are stateful callbacks; \
-         running with workers = 1 (requested %d)\n\
-         %!"
-        workers;
+      Log.warn
+        ~fields:[ ("requested_workers", Json.Int workers) ]
+        (Printf.sprintf
+           "scripted strategies are stateful callbacks; running with workers \
+            = 1 (requested %d)"
+           workers);
       1
     | _ -> workers
   in
   let make = make_runner ~engine ~seed ~hold cfg net ~goal ~strategy in
-  if workers <= 1 then run_sequential ~sup ~on_error ~seed ~generator make
-  else run_parallel ~workers ~sup ~on_error ~seed ~generator make
+  let result =
+    if workers <= 1 then
+      run_sequential ~sup ~on_error ~seed ~generator ~progress make
+    else run_parallel ~workers ~sup ~on_error ~seed ~generator ~progress make
+  in
+  (match progress with Some p -> Progress.finish p | None -> ());
+  result
 
-let estimate ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor net
-    ~goal ~horizon ~strategy ~delta ~eps () =
+let estimate ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor
+    ?progress net ~goal ~horizon ~strategy ~delta ~eps () =
   let generator = Generator.create Generator.Chernoff ~delta ~eps in
-  run ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor net ~goal
-    ~horizon ~strategy ~generator ()
+  run ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor ?progress net
+    ~goal ~horizon ~strategy ~generator ()
 
 let pp_result ppf r =
   Fmt.pf ppf

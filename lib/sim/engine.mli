@@ -52,6 +52,7 @@ val run :
   ?on_error:[ `Abort | `Unsat ] ->
   ?hold:Expr.t ->
   ?supervisor:Supervisor.t ->
+  ?progress:Slimsim_obs.Progress.t ->
   Network.t ->
   goal:Expr.t ->
   horizon:float ->
@@ -77,7 +78,19 @@ val run :
     three times, and never checkpoints.  Exceptions escaping a worker
     (in-process or in a spawned domain) restart that worker; the lost
     path is regenerated from its per-path seed, so the verdict stream
-    is bit-identical to a crash-free run. *)
+    is bit-identical to a crash-free run.
+
+    [progress] installs a throttled stderr heartbeat, ticked once per
+    consumed sample and cleared when the run returns.
+
+    Observability (metrics via {!Slimsim_obs.Metrics}, structured events
+    via {!Slimsim_obs.Log}) is ambient rather than parameterized: when
+    enabled, the engine records phase timings, per-worker path
+    statistics, verdict breakdowns, buffer occupancy, restarts and
+    checkpoint writes.  Instrumentation performs no RNG draws and no
+    extra float operations on simulation state, so the verdict stream —
+    and therefore the estimate — is bit-identical with observability on
+    or off. *)
 
 val estimate :
   ?workers:int ->
@@ -87,6 +100,7 @@ val estimate :
   ?on_error:[ `Abort | `Unsat ] ->
   ?hold:Expr.t ->
   ?supervisor:Supervisor.t ->
+  ?progress:Slimsim_obs.Progress.t ->
   Network.t ->
   goal:Expr.t ->
   horizon:float ->

@@ -1,6 +1,7 @@
 module I = Slimsim_intervals.Interval_set
 module Rng = Slimsim_stats.Rng
 module Dist = Slimsim_stats.Dist
+module Metrics = Slimsim_obs.Metrics
 open Slimsim_sta
 
 type divergence =
@@ -45,6 +46,41 @@ let default_config ~horizon =
   }
 
 type step_record = { at_time : float; chose_delay : float; description : string }
+
+(* Per-worker observability cell: one set of single-writer series per
+   worker domain (merged only at exposition time), handed to the path
+   generators by the engine.  With [obs = None] — the default, and
+   always when metrics are disabled — the generators add one predictable
+   branch per firing and one per path, nothing per step; and the
+   instrumentation never draws from the RNG or touches simulation state,
+   so verdict streams are bit-identical either way. *)
+type obs = {
+  obs_steps : Metrics.histogram;
+  obs_sim_time : Metrics.histogram;
+  obs_delay_firings : Metrics.counter;
+  obs_markov_firings : Metrics.counter;
+  obs_advances : Metrics.counter;
+}
+
+let obs_cell ~worker =
+  let w = [ ("worker", string_of_int worker) ] in
+  {
+    obs_steps =
+      Metrics.histogram ~labels:w "slimsim_path_steps"
+        ~help:"Steps taken per simulated path";
+    obs_sim_time =
+      Metrics.histogram ~labels:w "slimsim_path_sim_time"
+        ~help:"Simulated time reached per path";
+    obs_delay_firings =
+      Metrics.counter ~labels:(("kind", "delay") :: w) "slimsim_firings_total"
+        ~help:"Transition firings by kind (delay = guarded, markov = rate race)";
+    obs_markov_firings =
+      Metrics.counter ~labels:(("kind", "markov") :: w) "slimsim_firings_total"
+        ~help:"Transition firings by kind (delay = guarded, markov = rate race)";
+    obs_advances =
+      Metrics.counter ~labels:w "slimsim_advances_total"
+        ~help:"Pure time advances (missed windows and scripted advances)";
+  }
 
 exception Bail of error
 
@@ -109,7 +145,7 @@ type decision =
    surviving it contributes e^{(bias-1)·L·d}, and a rate transition
    firing at d additionally contributes 1/bias. *)
 let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
-    ?bias_of net cfg strategy rng ~goal =
+    ?bias_of ?obs net cfg strategy rng ~goal =
   if bias <= 0.0 then invalid_arg "Path.generate_weighted: bias must be positive";
   let factor =
     match bias_of with
@@ -119,6 +155,15 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
   let steps = ref [] in
   let note ~at_time ~chose_delay description =
     if record then steps := { at_time; chose_delay; description } :: !steps
+  in
+  let note_delay () =
+    match obs with Some o -> Metrics.incr o.obs_delay_firings | None -> ()
+  in
+  let note_markov () =
+    match obs with Some o -> Metrics.incr o.obs_markov_firings | None -> ()
+  in
+  let note_advance () =
+    match obs with Some o -> Metrics.incr o.obs_advances | None -> ()
   in
   let eps = cfg.eps_nudge in
   let dead kind msg =
@@ -134,10 +179,12 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
   (* Anchored lazily at the first throttled check so a path that never
      reaches step [wall_check_mask] pays no clock read at all. *)
   let wall_start = ref nan in
+  (* [state] and [step_n] live outside the [try] so the per-path
+     observations below see them after a bail-out too. *)
+  let state = ref (State.initial net) in
+  let step_n = ref 0 in
   let result =
     try
-      let state = ref (State.initial net) in
-      let step_n = ref 0 in
       let zero_advances = ref 0 in
       let verdict = ref None in
       while !verdict = None do
@@ -245,6 +292,7 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
                           state := Moves.apply net s ~delay tm.Moves.move;
                           note ~at_time:s.State.time ~chose_delay:delay
                             (Moves.describe net tm.Moves.move);
+                          note_delay ();
                           Advance_only (-1.0) (* sentinel: already executed *)
                         end))
                   | Strategy.Fire_markov { index; delay } -> (
@@ -361,7 +409,8 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
                     end
                     else zero_advances := 0;
                     state := State.advance net s d;
-                    note ~at_time:s.State.time ~chose_delay:d "advance"
+                    note ~at_time:s.State.time ~chose_delay:d "advance";
+                    note_advance ()
                   end)
               | Fire_markov_tr (p, tr, d) -> (
                 match
@@ -383,6 +432,7 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
                     state := Moves.apply net s ~delay:d move;
                     note ~at_time:s.State.time ~chose_delay:d
                       (Moves.describe net move);
+                    note_markov ();
                     zero_advances := 0
                   end)
               | Fire_disc d -> (
@@ -413,12 +463,14 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
                                   "no progress: enabled window is degenerate"))
                       end;
                       state := State.advance net s d;
-                      note ~at_time:s.State.time ~chose_delay:d "advance (missed)"
+                      note ~at_time:s.State.time ~chose_delay:d "advance (missed)";
+                      note_advance ()
                     | moves ->
                       let move = Dist.uniform_choice rng moves in
                       state := Moves.apply net s ~delay:d move;
                       note ~at_time:s.State.time ~chose_delay:d
                         (Moves.describe net move);
+                      note_delay ();
                       zero_advances := 0
                   end)
             end
@@ -432,6 +484,11 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
     | Value.Type_error msg -> Error (Model_error ("type error: " ^ msg))
     | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg))
   in
+  (match obs with
+  | Some o ->
+    Metrics.observe o.obs_steps (float_of_int !step_n);
+    Metrics.observe o.obs_sim_time !state.State.time
+  | None -> ());
   (result, List.rev !steps)
 
 (* ------------------------------------------------------------------ *)
@@ -477,7 +534,7 @@ let until_crossing_c c s q ~eps ~cap =
     | None, None -> None
   end
 
-let generate_compiled c s q cfg strategy rng =
+let generate_compiled ?obs c s q cfg strategy rng =
   match strategy with
   | Strategy.Scripted _ ->
     Error (Model_error "scripted strategies require the interpreted engine")
@@ -492,9 +549,10 @@ let generate_compiled c s q cfg strategy rng =
     let sim_budget = Option.value cfg.max_sim_time ~default:infinity in
     let wall_budget = Option.value cfg.max_wall_per_path ~default:infinity in
     let wall_start = ref nan in
+    let step_n = ref 0 in
+    let result =
     try
       Compiled.reset c s;
-      let step_n = ref 0 in
       let zero_advances = ref 0 in
       let verdict = ref None in
       while !verdict = None do
@@ -631,6 +689,9 @@ let generate_compiled c s q cfg strategy rng =
                   if d > remaining then verdict := Some Unsat_horizon
                   else begin
                     Compiled.apply c s ~delay:d (Moves.Local { proc = p; tr });
+                    (match obs with
+                    | Some o -> Metrics.incr o.obs_markov_firings
+                    | None -> ());
                     zero_advances := 0
                   end)
               | Fire_disc d -> (
@@ -649,10 +710,16 @@ let generate_compiled c s q cfg strategy rng =
                                (Model_error
                                   "no progress: enabled window is degenerate"))
                       end;
-                      Compiled.advance c s d
+                      Compiled.advance c s d;
+                      (match obs with
+                      | Some o -> Metrics.incr o.obs_advances
+                      | None -> ())
                     | moves ->
                       let move = Dist.uniform_choice rng moves in
                       Compiled.apply c s ~delay:d move;
+                      (match obs with
+                      | Some o -> Metrics.incr o.obs_delay_firings
+                      | None -> ());
                       zero_advances := 0
                   end)
             end
@@ -664,10 +731,19 @@ let generate_compiled c s q cfg strategy rng =
     | Bail e -> Error e
     | Bail_verdict v -> Ok v
     | Value.Type_error msg -> Error (Model_error ("type error: " ^ msg))
-    | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg)))
+    | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg))
+    in
+    (match obs with
+    | Some o ->
+      Metrics.observe o.obs_steps (float_of_int !step_n);
+      Metrics.observe o.obs_sim_time (Compiled.time s)
+    | None -> ());
+    result)
 
-let generate ?record ?hold net cfg strategy rng ~goal =
-  let result, steps = generate_weighted ?record ?hold net cfg strategy rng ~goal in
+let generate ?record ?hold ?obs net cfg strategy rng ~goal =
+  let result, steps =
+    generate_weighted ?record ?hold ?obs net cfg strategy rng ~goal
+  in
   (Result.map fst result, steps)
 
 let divergence_to_string = function

@@ -76,9 +76,25 @@ type step_record = {
   description : string;
 }
 
+type obs
+(** A per-worker bundle of metric series (steps per path, simulated time
+    reached, firing counters by kind, pure advances).  Each worker domain
+    owns its cell exclusively — series are merged only at exposition — so
+    recording is synchronization-free.  Instrumented generation performs
+    exactly the same RNG draws and float operations as uninstrumented
+    generation: verdict streams are bit-identical whether or not an [obs]
+    is supplied. *)
+
+val obs_cell : worker:int -> obs
+(** Find-or-create the cell for worker [worker] (labels every series with
+    [worker="<n>"]).  Takes the registry lock; call once at worker spawn,
+    not per path.  A respawned worker finds its predecessor's cell and
+    keeps counting. *)
+
 val generate :
   ?record:bool ->
   ?hold:Expr.t ->
+  ?obs:obs ->
   Network.t ->
   config ->
   Strategy.t ->
@@ -97,6 +113,7 @@ val generate_weighted :
   ?hold:Expr.t ->
   ?bias:float ->
   ?bias_of:(int -> int -> float) ->
+  ?obs:obs ->
   Network.t ->
   config ->
   Strategy.t ->
@@ -130,6 +147,7 @@ type compiled_query
 val compile_query : ?hold:Expr.t -> Compiled.t -> goal:Expr.t -> compiled_query
 
 val generate_compiled :
+  ?obs:obs ->
   Compiled.t ->
   Compiled.cstate ->
   compiled_query ->

@@ -10,10 +10,11 @@ type t = {
   restart_backoff : float;
   stop : bool Atomic.t;
   chaos : (worker:int -> path:int -> unit) option;
+  metrics_file : string option;
 }
 
 let create ?(on_divergence = `Abort) ?checkpoint ?(resume = false)
-    ?(max_restarts = 3) ?(restart_backoff = 0.05) ?stop ?chaos () =
+    ?(max_restarts = 3) ?(restart_backoff = 0.05) ?stop ?chaos ?metrics_file () =
   if max_restarts < 0 then invalid_arg "Supervisor.create: max_restarts";
   if restart_backoff < 0.0 then invalid_arg "Supervisor.create: restart_backoff";
   (match checkpoint with
@@ -28,6 +29,7 @@ let create ?(on_divergence = `Abort) ?checkpoint ?(resume = false)
     restart_backoff;
     stop = (match stop with Some s -> s | None -> Atomic.make false);
     chaos;
+    metrics_file;
   }
 
 let default () = create ()

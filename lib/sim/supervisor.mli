@@ -43,6 +43,13 @@ type t = {
       (** Test-only fault injection: called in the worker's domain
           right before each path is simulated; raising simulates a
           worker crash at exactly that path. *)
+  metrics_file : string option;
+      (** Where the engine re-exports the metric registry (Prometheus
+          text format, tmp-file + rename) at every checkpoint, so a
+          long campaign's metrics survive a crash along with its
+          progress.  Only written when metrics collection is enabled
+          ({!Slimsim_obs.Metrics.set_enabled}); the CLI also writes it
+          once at exit. *)
 }
 
 val create :
@@ -53,10 +60,12 @@ val create :
   ?restart_backoff:float ->
   ?stop:bool Atomic.t ->
   ?chaos:(worker:int -> path:int -> unit) ->
+  ?metrics_file:string ->
   unit ->
   t
 (** Defaults: [`Abort], no checkpoint, no resume, [max_restarts = 3],
-    [restart_backoff = 0.05], a fresh stop flag, no chaos. *)
+    [restart_backoff = 0.05], a fresh stop flag, no chaos, no metrics
+    file. *)
 
 val default : unit -> t
 

@@ -1,5 +1,9 @@
+(* RFC 4180 quoting: a field containing a comma, a quote, or either
+   line-break character must be quoted — \r included, or a carriage
+   return in a step description splits the row in consumers that treat
+   bare CR (or CRLF) as a record separator. *)
 let csv_escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 

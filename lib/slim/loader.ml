@@ -6,12 +6,18 @@ type loaded = {
 
 let ( let* ) = Result.bind
 
+(* Each front-end phase is timed into
+   [slimsim_phase_seconds{phase=...}] and logged as a "phase" event when
+   observability is on; [Phase.run] is the identity otherwise. *)
 let load_string src =
-  let* ast = Parser.parse_model src in
+  let* ast = Slimsim_obs.Phase.run "parse" (fun () -> Parser.parse_model src) in
   let* tables =
-    Sema.analyze ast |> Result.map_error Sema.errors_to_string
+    Slimsim_obs.Phase.run "sema" (fun () ->
+        Sema.analyze ast |> Result.map_error Sema.errors_to_string)
   in
-  let* network = Translate.translate tables in
+  let* network =
+    Slimsim_obs.Phase.run "translate" (fun () -> Translate.translate tables)
+  in
   Ok { ast; tables; network }
 
 let load_file path =

@@ -513,6 +513,7 @@ type t = {
 let network c = c.net
 
 let compile (net : Network.t) : t =
+  Slimsim_obs.Phase.run "stage" @@ fun () ->
   let n_events = Array.length net.events in
   let compile_updates ups =
     Array.of_list (List.map (fun (v, e) -> (v, compile_value e)) ups)

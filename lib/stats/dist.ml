@@ -5,8 +5,19 @@ let exponential rng ~rate =
 
 let bernoulli rng ~p = Rng.float rng < p
 
+(* Negative weights must be rejected outright, not merely balanced by a
+   positive total: they make the cumulative scan non-monotone, so the
+   draw [r < acc] can select an index whose own weight is negative (or
+   skip a positive one), silently biasing the selection.  The check
+   rides the summation loop that already walks the array. *)
 let categorical rng ~weights =
-  let total = Array.fold_left ( +. ) 0.0 weights in
+  let total = ref 0.0 in
+  Array.iter
+    (fun w ->
+      if w < 0.0 then invalid_arg "Dist.categorical: negative weight";
+      total := !total +. w)
+    weights;
+  let total = !total in
   if total <= 0.0 then invalid_arg "Dist.categorical: total weight must be positive";
   let r = Rng.below rng total in
   let n = Array.length weights in
@@ -18,14 +29,33 @@ let categorical rng ~weights =
   in
   pick 0 0.0
 
+(* One length walk, one draw, one selection walk — the previous
+   [List.nth xs (Rng.int rng (List.length xs))] walked the spine twice
+   per draw, in the per-step hot path of both engines.  RNG consumption
+   is unchanged (exactly one [Rng.int] for two or more elements, none
+   otherwise), so verdict streams are bit-identical; the determinism
+   suite in test/test_compiled.ml pins this down. *)
 let uniform_choice rng xs =
   match xs with
   | [] -> invalid_arg "Dist.uniform_choice: empty list"
   | [ x ] -> x
-  | _ -> List.nth xs (Rng.int rng (List.length xs))
+  | _ ->
+    let n = List.length xs in
+    let k = Rng.int rng n in
+    let rec nth k = function
+      | [] -> assert false (* k < List.length xs *)
+      | x :: tl -> if k = 0 then x else nth (k - 1) tl
+    in
+    nth k xs
 
 let exponential_race rng ~rates =
-  let total = Array.fold_left ( +. ) 0.0 rates in
+  let total =
+    Array.fold_left
+      (fun acc r ->
+        if r < 0.0 then invalid_arg "Dist.exponential_race: negative rate";
+        acc +. r)
+      0.0 rates
+  in
   if total <= 0.0 then None
   else
     let t = exponential rng ~rate:total in
@@ -35,7 +65,9 @@ let exponential_race rng ~rates =
 let exponential_race_n rng ~rates ~n =
   let total = ref 0.0 in
   for i = 0 to n - 1 do
-    total := !total +. rates.(i)
+    let r = rates.(i) in
+    if r < 0.0 then invalid_arg "Dist.exponential_race_n: negative rate";
+    total := !total +. r
   done;
   let total = !total in
   if total <= 0.0 then None

@@ -6,20 +6,25 @@ val exponential : Rng.t -> rate:float -> float
 val bernoulli : Rng.t -> p:float -> bool
 
 val categorical : Rng.t -> weights:float array -> int
-(** Index drawn with probability proportional to its (non-negative)
-    weight; requires a positive total weight. *)
+(** Index drawn with probability proportional to its weight.  Raises
+    [Invalid_argument] on any negative weight (a negative entry makes
+    the cumulative scan non-monotone and would silently bias the
+    selection) and when the total weight is not positive. *)
 
 val uniform_choice : Rng.t -> 'a list -> 'a
 (** Equiprobable pick from a non-empty list — the paper's resolution of
-    underspecified discrete choice (§III-B). *)
+    underspecified discrete choice (§III-B).  Consumes exactly one
+    [Rng.int] draw for lists of two or more elements and none otherwise,
+    and walks the spine once per draw. *)
 
 val exponential_race : Rng.t -> rates:float array -> (int * float) option
 (** Winner of a race between independent exponentials: samples the
     holding time [Exp(sum rates)] and picks entry [i] with probability
     [rates.(i) / sum].  [None] when every rate is zero or the array is
-    empty. *)
+    empty; raises [Invalid_argument] on a negative rate. *)
 
 val exponential_race_n : Rng.t -> rates:float array -> n:int -> (int * float) option
 (** [exponential_race] restricted to the first [n] entries of a (reused)
     buffer; draw-for-draw identical to [exponential_race] on
-    [Array.sub rates 0 n], without the allocation. *)
+    [Array.sub rates 0 n], without the allocation.  Raises
+    [Invalid_argument] on a negative rate among the first [n]. *)

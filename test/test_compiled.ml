@@ -363,6 +363,50 @@ let test_scratch_reuse_is_clean () =
   Alcotest.(check bool) "reused scratch matches fresh" true
     (compare reused fresh = 0)
 
+let test_obs_bit_identity () =
+  (* Enabling metrics and passing an obs cell must not change a single
+     verdict, on either engine: instrumentation performs no RNG draws
+     and never touches simulation state. *)
+  let module Metrics = Slimsim_obs.Metrics in
+  let net = load Slimsim_models.Gps.source in
+  let g = goal net Slimsim_models.Gps.goal_no_fix in
+  let cfg = Path.default_config ~horizon:300.0 in
+  let c = Compiled.compile net in
+  let q = Path.compile_query c ~goal:g in
+  let run ?obs () =
+    List.concat_map
+      (fun strategy ->
+        List.map
+          (fun seed ->
+            let s = Compiled.scratch c in
+            ( Path.generate_compiled ?obs c s q cfg strategy
+                (Rng.for_path ~seed ~path:0),
+              fst
+                (Path.generate ?obs net cfg strategy
+                   (Rng.for_path ~seed ~path:1) ~goal:g) ))
+          [ 1L; 2L; 3L; 4L; 5L ])
+      strategies
+  in
+  let plain = run () in
+  Metrics.set_enabled true;
+  let instrumented =
+    Fun.protect
+      (fun () -> run ~obs:(Path.obs_cell ~worker:0) ())
+      ~finally:(fun () -> Metrics.set_enabled false)
+  in
+  Alcotest.(check bool) "verdict streams bit-identical" true
+    (compare plain instrumented = 0);
+  (* and the instrumentation actually recorded, rather than no-op'ing *)
+  let steps =
+    Metrics.histogram
+      ~labels:[ ("worker", "0") ]
+      "slimsim_path_steps" ~help:"Steps taken per simulated path"
+  in
+  Alcotest.(check int) "every instrumented path observed"
+    (2 * List.length plain)
+    (Metrics.histogram_count steps);
+  Metrics.reset ()
+
 let suite =
   [
     prop 2000 "compiled value = eval" gen_case prop_value;
@@ -380,4 +424,5 @@ let suite =
     Alcotest.test_case "violated paths counted" `Quick test_violated_paths_counted;
     Alcotest.test_case "error policy" `Quick test_error_policy;
     Alcotest.test_case "scratch reuse is clean" `Quick test_scratch_reuse_is_clean;
+    Alcotest.test_case "observability bit-identity" `Quick test_obs_bit_identity;
   ]

@@ -577,19 +577,41 @@ let test_engine_parallel_determinism () =
 
 let test_engine_scripted_needs_one_worker () =
   (* A scripted strategy with workers > 1 is downgraded to a single
-     worker (with a stderr warning), not rejected: the campaign runs
-     and the first scripted Abort surfaces as usual. *)
+     worker, not rejected: the campaign runs and the first scripted
+     Abort surfaces as usual.  The downgrade goes through the
+     structured logger (a "warning" JSONL event), not a bare eprintf,
+     so installed sinks capture it. *)
+  let module Log = Slimsim_obs.Log in
+  let module Json = Slimsim_obs.Json in
+  let events = ref [] in
+  Log.set_sink (Some (fun line -> events := line :: !events));
   let net = load Slimsim_models.Gps.nominal_only in
   let g = goal net "measurement" in
   let generator = Generator.create Generator.Chernoff ~delta:0.1 ~eps:0.3 in
-  match
+  let result =
     Engine.run ~workers:2 net ~goal:g ~horizon:10.0
       ~strategy:(Strategy.Scripted (fun _ -> Strategy.Abort))
       ~generator ()
-  with
+  in
+  Log.set_sink None;
+  (match result with
   | Error Path.Aborted -> ()
   | Ok _ -> Alcotest.fail "scripted Abort must surface"
-  | Error e -> Alcotest.failf "unexpected error: %s" (Path.error_to_string e)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Path.error_to_string e));
+  let warned =
+    List.exists
+      (fun line ->
+        match Json.parse line with
+        | Ok json -> (
+          Json.member "event" json = Some (Json.String "warning")
+          &&
+          match Json.member "message" json with
+          | Some (Json.String msg) -> Astring_contains.contains msg "scripted"
+          | _ -> false)
+        | Error _ -> false)
+      !events
+  in
+  Alcotest.(check bool) "downgrade emitted a structured warning" true warned
 
 let test_engine_ci_contains_estimate () =
   let net = load (exp_model 0.05) in
@@ -622,6 +644,26 @@ let test_trace_csv () =
   let csv2 = Slimsim_sim.Trace.to_csv weird in
   Alcotest.(check bool) "comma is quoted" true
     (Astring_contains.contains csv2 "\"a,b \"\"q\"\"\"")
+
+let test_trace_csv_carriage_return () =
+  (* Regression: the quoting predicate missed '\r', so a carriage
+     return in a step description produced an unquoted field that tears
+     the row in consumers treating bare CR (or CRLF) as a record
+     separator. *)
+  let cr = [ { Path.at_time = 0.5; chose_delay = 0.25; description = "fire\rreset" } ] in
+  let csv = Slimsim_sim.Trace.to_csv cr in
+  (match String.split_on_char '\n' csv with
+  | [ header; row; "" ] ->
+    Alcotest.(check string) "header" "time,delay,action" header;
+    Alcotest.(check string) "CR field is quoted, row intact"
+      "0.5,0.25,\"fire\rreset\"" row
+  | _ -> Alcotest.failf "expected header + 1 row, got: %S" csv);
+  let crlf =
+    [ { Path.at_time = 1.0; chose_delay = 0.5; description = "a\r\nb, \"c\"" } ]
+  in
+  let csv2 = Slimsim_sim.Trace.to_csv crlf in
+  Alcotest.(check bool) "CRLF + comma + quote round-trips" true
+    (Astring_contains.contains csv2 "\"a\r\nb, \"\"c\"\"\"")
 
 let suite =
   [

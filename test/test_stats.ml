@@ -104,6 +104,79 @@ let test_exponential_race () =
   Alcotest.(check bool) "no winner without rates" true
     (Dist.exponential_race r ~rates:[| 0.0; 0.0 |] = None)
 
+let test_negative_params_rejected () =
+  (* Regression: a negative weight among positive ones used to slip
+     through (only the total was checked), making the cumulative scan
+     non-monotone and silently biasing the draw. *)
+  let r = Rng.create 29L in
+  Alcotest.check_raises "categorical negative weight"
+    (Invalid_argument "Dist.categorical: negative weight") (fun () ->
+      ignore (Dist.categorical r ~weights:[| 1.0; -0.5; 2.0 |]));
+  Alcotest.check_raises "race negative rate"
+    (Invalid_argument "Dist.exponential_race: negative rate") (fun () ->
+      ignore (Dist.exponential_race r ~rates:[| 0.5; -1.0 |]));
+  Alcotest.check_raises "race_n negative rate"
+    (Invalid_argument "Dist.exponential_race_n: negative rate") (fun () ->
+      ignore (Dist.exponential_race_n r ~rates:[| 0.5; -1.0; 3.0 |] ~n:2));
+  (* entries beyond [n] are outside the race: neither summed nor checked *)
+  Alcotest.(check bool) "rates beyond n ignored" true
+    (Dist.exponential_race_n r ~rates:[| 0.5; 1.0; -3.0 |] ~n:2 <> None)
+
+let prop cnt name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:cnt ~name gen f)
+
+let gen_weight_case =
+  QCheck2.Gen.(
+    pair (int_range 1 0x3FFFFFFF)
+      (list_size (int_range 2 5) (oneofl [ 0.5; 1.0; 2.0; 4.0; 8.0 ])))
+
+let prop_categorical_frequencies (seed, ws) =
+  (* empirical frequencies track the normalized weights (5+ sigma slack
+     at 20_000 draws, so the property is stable under any qcheck seed) *)
+  let weights = Array.of_list ws in
+  let r = Rng.create (Int64.of_int seed) in
+  let n = 20_000 in
+  let counts = Array.make (Array.length weights) 0 in
+  for _ = 1 to n do
+    let k = Dist.categorical r ~weights in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let ok = ref true in
+  Array.iteri
+    (fun i w ->
+      let frac = float_of_int counts.(i) /. float_of_int n in
+      if Float.abs (frac -. (w /. total)) >= 0.025 then ok := false)
+    weights;
+  !ok
+
+let test_uniform_choice () =
+  Alcotest.check_raises "empty list rejected"
+    (Invalid_argument "Dist.uniform_choice: empty list") (fun () ->
+      ignore (Dist.uniform_choice (Rng.create 1L) []));
+  (* a singleton consumes no randomness *)
+  let r = Rng.create 31L in
+  Alcotest.(check int) "singleton" 7 (Dist.uniform_choice r [ 7 ]);
+  Alcotest.(check int64) "singleton consumes nothing"
+    (Rng.bits64 (Rng.create 31L))
+    (Rng.bits64 r);
+  (* n >= 2: the indexed walk must match the old [List.nth _ (Rng.int _ n)]
+     draw-for-draw — same element, same stream position afterwards — so
+     verdict streams are bit-identical across the optimisation *)
+  for n = 2 to 8 do
+    let xs = List.init n (fun i -> i * 10) in
+    let seed = Int64.of_int (100 + n) in
+    let a = Rng.create seed and b = Rng.create seed in
+    let chosen = Dist.uniform_choice a xs in
+    let k = Rng.int b n in
+    Alcotest.(check int)
+      (Printf.sprintf "n=%d: element of the single draw" n)
+      (List.nth xs k) chosen;
+    Alcotest.(check int64)
+      (Printf.sprintf "n=%d: same stream position" n)
+      (Rng.bits64 b) (Rng.bits64 a)
+  done
+
 let test_chernoff_bound () =
   (* paper formula: N = 4 ln(2/delta) / eps^2 *)
   let n = Bound.chernoff_samples ~delta:0.05 ~eps:0.01 in
@@ -308,6 +381,11 @@ let suite =
     Alcotest.test_case "rng uniformity" `Slow test_rng_uniformity;
     Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
     Alcotest.test_case "categorical" `Slow test_categorical;
+    Alcotest.test_case "negative parameters rejected" `Quick
+      test_negative_params_rejected;
+    prop 20 "categorical frequencies track weights" gen_weight_case
+      prop_categorical_frequencies;
+    Alcotest.test_case "uniform choice" `Quick test_uniform_choice;
     Alcotest.test_case "exponential race" `Slow test_exponential_race;
     Alcotest.test_case "chernoff bound" `Quick test_chernoff_bound;
     Alcotest.test_case "hoeffding inverse" `Quick test_hoeffding_inverse;
