@@ -431,6 +431,17 @@ let micro ?(quick = false) ?(json = false) () =
       Test.make ~name:"frontend:load-launcher"
         (Staged.stage (fun () ->
              ignore (load (Launcher.source ~variant:`Recoverable))));
+      (* the qualitative pre-pass runs before every simulate campaign,
+         so its cost must stay negligible next to one sampling batch
+         (contract: < 10 ms per analysis, checked below) *)
+      Test.make ~name:"prepass:sensor-filter"
+        (Staged.stage (fun () ->
+             ignore (Slimsim_analyze.Prepass.analyze sf2_net ~goal:sf2_goal)));
+      Test.make ~name:"prepass:gps-full"
+        (Staged.stage (fun () ->
+             ignore
+               (Slimsim_analyze.Prepass.analyze (Slimsim.network full_gps)
+                  ~goal:gps_goal)));
     ]
   in
   let quota = if quick then 0.1 else 0.5 in
@@ -553,6 +564,29 @@ let micro ?(quick = false) ?(json = false) () =
         (fun (label, pct) -> ("observability:obs-overhead-" ^ label, pct))
         obs_overheads
   in
+  (* the pre-pass contract: each bundled-model analysis completes in
+     under 10 ms (best-of-5 to discard first-run allocation noise), so
+     running it by default before every campaign is free in practice *)
+  List.iter
+    (fun (label, net, goal) ->
+      let best = ref infinity in
+      for _ = 1 to 5 do
+        let r = Slimsim_analyze.Prepass.analyze net ~goal in
+        best := Float.min !best r.Slimsim_analyze.Prepass.wall_seconds
+      done;
+      let ms = 1e3 *. !best in
+      Fmt.pr "  %-45s %11.3f ms %s@."
+        ("prepass wall: " ^ label)
+        ms
+        (if ms < 10.0 then "[contract <10ms: OK]" else "[contract <10ms: FAIL]");
+      if ms >= 10.0 then
+        failwith
+          (Printf.sprintf "prepass contract violated on %s: %.3f ms >= 10 ms"
+             label ms))
+    [
+      ("sensor-filter", sf2_net, sf2_goal);
+      ("gps-full", Slimsim.network full_gps, gps_goal);
+    ];
   if json then begin
     let oc = open_out "BENCH_sim.json" in
     let pr fmt = Printf.fprintf oc fmt in

@@ -18,6 +18,8 @@ module Metrics = Slimsim_obs.Metrics
 module Log = Slimsim_obs.Log
 module Json = Slimsim_obs.Json
 
+let version = "1.0.0"
+
 let load file =
   match S.load_file file with
   | Ok m -> Ok m
@@ -132,18 +134,48 @@ let advisory_lint ~no_lint file m =
         file
   end
 
+let lint_props_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "property" ] ~docv:"PROP"
+        ~doc:
+          "Also run the qualitative pre-pass on $(docv) (repeatable) and \
+           report conclusive outcomes as diagnostics: $(b,I002) statically \
+           certain (P=1), $(b,I003) statically vacuous (P=0), each with a \
+           delay-free witness trace when one exists.")
+
 let lint_cmd =
-  let run file format fail_on =
+  let run file format fail_on props =
     match Slimsim_analyze.Lint.lint_file file with
     | Error e ->
       prerr_endline e;
       exit 3
     | Ok diags ->
+      (* The property pre-pass needs a loaded model; when the frontend
+         already failed, [diags] carries those errors and the properties
+         are skipped. *)
+      let model = Result.to_option (S.load_file file) in
+      let diags =
+        match model with
+        | Some m when props <> [] ->
+          Diag.sort
+            (diags
+            @ List.concat_map (fun p -> S.lint_property m ~property:p) props)
+        | _ -> diags
+      in
       (match format with
       | `Text ->
         if diags = [] then Fmt.pr "%s: no issues found@." file
         else print_endline (Diag.render_text diags)
-      | `Json -> print_endline (Diag.render_json diags));
+      | `Json ->
+        let network_hash =
+          Option.map
+            (fun m -> Slimsim_analyze.Lint.network_hash (S.network m))
+            model
+        in
+        print_endline
+          (Diag.render_json ~tool_version:version ?network_hash diags));
       if Diag.exceeds ~threshold:fail_on diags then exit 1
   in
   Cmd.v
@@ -151,9 +183,11 @@ let lint_cmd =
        ~doc:
          "Static analysis: dead transitions, unreachable modes, unused \
           declarations, unsynchronizable events, uninitialized reads, \
-          divergent invariants.  Exit status: 0 clean (below the --fail-on \
-          threshold), 1 findings at or above it, 3 unreadable input.")
-    Term.(const run $ model_arg $ lint_format_arg $ fail_on_arg)
+          divergent invariants.  With --property, also the qualitative \
+          pre-pass (P=0/P=1 certificates).  Exit status: 0 clean (below the \
+          --fail-on threshold), 1 findings at or above it, 3 unreadable \
+          input.")
+    Term.(const run $ model_arg $ lint_format_arg $ fail_on_arg $ lint_props_arg)
 
 (* --- simulate --- *)
 
@@ -317,11 +351,21 @@ let simulate_cmd =
              paths/s, running estimate and achieved half-width), at most \
              once per $(docv) seconds (default 1; use --progress=$(docv) to \
              override).")
+  and no_prepass =
+    Arg.(
+      value & flag
+      & info [ "no-prepass" ]
+          ~doc:
+            "Skip the qualitative pre-pass.  By default a property proved \
+             P=0 or P=1 on the discrete skeleton is answered exactly with a \
+             certificate and zero sampled paths; with this flag (or whenever \
+             the pre-pass is inconclusive) the Monte Carlo campaign runs \
+             unchanged — same seeds, same verdict stream, same estimate.")
   in
   let run file prop strategy delta eps workers generator deadlock_error engine
       on_error seed no_lint max_steps max_sim_time max_wall_per_path
       on_divergence checkpoint checkpoint_every resume metrics log_json
-      progress =
+      progress no_prepass =
     (* Observability comes up before the model loads so the front-end
        phase timings land in the metrics and the event log. *)
     if metrics <> None then Metrics.set_enabled true;
@@ -386,8 +430,8 @@ let simulate_cmd =
       ];
     match
       S.check ~workers ~seed ~generator ~on_deadlock ~engine ~on_error
-        ~supervisor ?progress ~max_steps ?max_sim_time ?max_wall_per_path m
-        ~property:prop ~strategy ~delta ~eps ()
+        ~supervisor ?progress ~max_steps ?max_sim_time ?max_wall_per_path
+        ~prepass:(not no_prepass) m ~property:prop ~strategy ~delta ~eps ()
     with
     | Ok r ->
       Fmt.pr "%a@." S.pp_estimate r;
@@ -425,7 +469,8 @@ let simulate_cmd =
       const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
       $ generator $ deadlock_error $ engine $ on_error $ seed_arg $ no_lint_arg
       $ max_steps $ max_sim_time $ max_wall_per_path $ on_divergence
-      $ checkpoint $ checkpoint_every $ resume $ metrics $ log_json $ progress)
+      $ checkpoint $ checkpoint_every $ resume $ metrics $ log_json $ progress
+      $ no_prepass)
 
 (* --- exact --- *)
 
@@ -679,7 +724,7 @@ let () =
   let doc = "statistical model checking of timed reachability for SLIM/AADL models" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "slimsim" ~version:"1.0.0" ~doc)
+       (Cmd.group (Cmd.info "slimsim" ~version ~doc)
           [
             info_cmd; lint_cmd; simulate_cmd; exact_cmd; trace_cmd;
             interactive_cmd; cutsets_cmd; fmea_cmd; fdir_cmd;

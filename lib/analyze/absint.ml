@@ -11,6 +11,13 @@ let of_ty = function
   | T_bool -> top_bool
   | T_int_range (a, b) -> Num (I.closed (float_of_int a) (float_of_int b))
   | T_clock -> Num (I.at_least 0.0)
+  | T_enum ls ->
+    (* finite value set: the literals' integer codes 0 .. n-1 *)
+    Num
+      (List.fold_left
+         (fun acc i -> I.union acc (I.point (float_of_int i)))
+         I.empty
+         (List.mapi (fun i _ -> i) ls))
   | T_int | T_real | T_continuous -> top_num
 
 (* Coercions for ill-typed or unknown operands: stay at top, never
@@ -108,6 +115,46 @@ let rec eval ~env (e : expr) : t =
       | B_gt -> abool (can_lt b a) (can_le a b)
       | B_ge -> abool (can_le b a) (can_lt a b)
       | _ -> assert false))
+
+(* Lattice operations for the reachability skeleton's fixpoint
+   (Prepass): join is the pointwise union; widen jumps an endpoint that
+   grew since the last iterate to infinity so chains of joins over
+   unbounded integer domains terminate. *)
+
+let equal a b =
+  match a, b with
+  | Any, Any -> true
+  | Abool b1, Abool b2 -> b1.can_t = b2.can_t && b1.can_f = b2.can_f
+  | Num s1, Num s2 -> I.equal s1 s2
+  | (Any | Abool _ | Num _), _ -> false
+
+let join a b =
+  match a, b with
+  | Any, _ | _, Any -> Any
+  | Abool b1, Abool b2 -> abool (b1.can_t || b2.can_t) (b1.can_f || b2.can_f)
+  | Num s1, Num s2 -> Num (I.union s1 s2)
+  | Abool _, Num _ | Num _, Abool _ -> Any
+
+let widen ~old next =
+  (* [next] is expected to contain [old] (it is [join old delta]); any
+     endpoint that moved is pushed to infinity. *)
+  match old, next with
+  | Num s_old, Num s_new when not (I.equal s_old s_new) ->
+    if I.is_empty s_old || I.is_empty s_new then next
+    else
+      let lo =
+        match I.inf s_new, I.inf s_old with
+        | I.Neg_inf, _ -> I.Neg_inf
+        | I.Fin (x, _), I.Fin (y, _) when x < y -> I.Neg_inf
+        | b, _ -> b
+      and hi =
+        match I.sup s_new, I.sup s_old with
+        | I.Pos_inf, _ -> I.Pos_inf
+        | I.Fin (x, _), I.Fin (y, _) when x > y -> I.Pos_inf
+        | b, _ -> b
+      in
+      Num (I.union s_new (I.make lo hi))
+  | _ -> next
 
 let can_be_true = function
   | Abool b -> b.can_t

@@ -19,11 +19,62 @@ type t =
 val top_bool : t
 (** [Abool {can_t = true; can_f = true}]. *)
 
+val top_num : t
+(** [Num full]. *)
+
+val abool : bool -> bool -> t
+(** [abool can_t can_f]. *)
+
 val of_ty : Slimsim_slim.Ast.ty -> t
 (** The declared domain of a variable: [bool] can be either truth
     value, [int [a, b]] is the closed interval, clocks are
     non-negative (the simulator starts them at 0 with derivative 1 and
-    models never rewind them), everything else is unbounded. *)
+    models never rewind them), enumerations are the finite set of their
+    literals' integer codes, everything else is unbounded. *)
+
+(** {1 Algebra}
+
+    The building blocks of {!eval}, exported so other abstract
+    evaluators (notably the {!Prepass} reachability skeleton, which
+    works on translated {!Slimsim_sta.Expr} terms instead of surface
+    expressions) stay consistent with the lint interpreter. *)
+
+val as_num : t -> Slimsim_intervals.Interval_set.t
+(** Numeric view; [full] for non-numeric values (never invents
+    precision). *)
+
+val as_bool : t -> bool * bool
+(** Boolean view [(can_t, can_f)]; [(true, true)] for non-Booleans. *)
+
+val can_lt : Slimsim_intervals.Interval_set.t -> Slimsim_intervals.Interval_set.t -> bool
+(** [∃ a ∈ A, b ∈ B. a < b]? *)
+
+val can_le : Slimsim_intervals.Interval_set.t -> Slimsim_intervals.Interval_set.t -> bool
+
+val num_eq : Slimsim_intervals.Interval_set.t -> Slimsim_intervals.Interval_set.t -> bool * bool
+(** Possibility flags of numeric equality. *)
+
+val bool_eq : bool * bool -> bool * bool -> bool * bool
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+(** {1 Lattice}
+
+    Used by the {!Prepass} fixpoint: stores are joined per skeleton
+    node and widened after repeated growth so unbounded integer
+    domains terminate. *)
+
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+(** Least upper bound ([Any] absorbs; mixed kinds go to [Any]). *)
+
+val widen : old:t -> t -> t
+(** [widen ~old next] with [next ⊇ old]: any numeric endpoint that
+    strictly grew since [old] is pushed to the corresponding infinity,
+    guaranteeing stabilization of ascending chains. *)
 
 val eval : env:(Slimsim_slim.Ast.name_path -> t) -> Slimsim_slim.Ast.expr -> t
 (** Evaluate under per-path domains.  [env] should return {!Any} for

@@ -49,7 +49,16 @@ let domain_env tables ci : name_path -> Absint.t =
  fun p ->
   match ty_of_path tables ci p with
   | Some ty -> Absint.of_ty ty
-  | None -> Absint.Any
+  | None -> (
+    (* bare enumeration literals evaluate to their exact code *)
+    match p with
+    | [ x ] -> (
+      match Sema.enum_literal tables x with
+      | Some (_, code) ->
+        Absint.Num
+          (Slimsim_intervals.Interval_set.point (float_of_int code))
+      | None -> Absint.Any)
+    | _ -> Absint.Any)
 
 (* --- W001 / I001: guard satisfiability --- *)
 
@@ -313,7 +322,11 @@ let check_uninitialized tables usage emit =
     (fun (_, ci) ->
       List.iter
         (function
-          | Sub_data ({ sd_init = None; sd_ty = T_bool | T_int | T_int_range _ | T_real; _ } as d)
+          | Sub_data
+              ({ sd_init = None;
+                 sd_ty = T_bool | T_int | T_int_range _ | T_real | T_enum _;
+                 _
+               } as d)
             when Hashtbl.mem usage.local_read (ci.ci_type, ci.ci_name, d.sd_name) ->
             emit
               (warn Codes.uninitialized_read d.sd_pos

@@ -16,6 +16,8 @@ let uninitialized_read = "W005"
 let divergent_invariant = "W006"
 let unbounded_dwell = "W007"
 let constant_guard = "I001"
+let statically_certain = "I002"
+let statically_vacuous = "I003"
 
 let all =
   [
@@ -106,6 +108,24 @@ let all =
       summary =
         "a transition guard always holds for the declared variable domains; \
          the 'when' clause is redundant";
+    };
+    {
+      code = statically_certain;
+      severity = Diagnostic.Info;
+      title = "statically-certain";
+      summary =
+        "the pre-pass proves the property holds with probability exactly 1: \
+         every run reaches the goal through delay-free moves; simulation \
+         would only confirm the certainty";
+    };
+    {
+      code = statically_vacuous;
+      severity = Diagnostic.Info;
+      title = "statically-vacuous";
+      summary =
+        "the pre-pass proves the property holds with probability exactly 0: \
+         no goal state is reachable in the discrete skeleton, which \
+         over-approximates every run's discrete support";
     };
   ]
 

@@ -28,3 +28,5 @@ val uninitialized_read : string
 val divergent_invariant : string
 val unbounded_dwell : string
 val constant_guard : string
+val statically_certain : string
+val statically_vacuous : string

@@ -46,19 +46,36 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let render_json ds =
+let render_json ?tool_version ?network_hash ds =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "{\"diagnostics\": [";
+  Buffer.add_char buf '{';
+  (* Envelope fields are omitted (not rendered as null) when absent so
+     that the historical output shape is byte-identical. *)
+  (match tool_version with
+  | Some v -> Buffer.add_string buf (Printf.sprintf "\"tool_version\": \"%s\", " (json_escape v))
+  | None -> ());
+  (match network_hash with
+  | Some h -> Buffer.add_string buf (Printf.sprintf "\"network_hash\": \"%s\", " (json_escape h))
+  | None -> ());
+  Buffer.add_string buf "\"diagnostics\": [";
   List.iteri
     (fun i d ->
       if i > 0 then Buffer.add_char buf ',';
+      let trace =
+        match d.trace with
+        | [] -> ""
+        | steps ->
+          Printf.sprintf ", \"trace\": [%s]"
+            (String.concat ", "
+               (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) steps))
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "\n  {\"code\": \"%s\", \"severity\": \"%s\", \"line\": %d, \"col\": %d, \"message\": \"%s\"}"
+           "\n  {\"code\": \"%s\", \"severity\": \"%s\", \"line\": %d, \"col\": %d, \"message\": \"%s\"%s}"
            (json_escape d.code)
            (severity_to_string d.severity)
            d.pos.Slimsim_slim.Ast.line d.pos.Slimsim_slim.Ast.col
-           (json_escape d.msg)))
+           (json_escape d.msg) trace))
     ds;
   if ds <> [] then Buffer.add_char buf '\n';
   Buffer.add_string buf

@@ -28,9 +28,15 @@ val render_text : t list -> string
     line ["N error(s), N warning(s), N info(s)"].  Empty string for an
     empty list. *)
 
-val render_json : t list -> string
+val render_json :
+  ?tool_version:string -> ?network_hash:string -> t list -> string
 (** Stable machine-readable rendering:
     [{"diagnostics": [{"code", "severity", "line", "col", "message"},
     ...], "summary": {"errors", "warnings", "infos"}}] with one
     diagnostic object per line.  The list is rendered in the order
-    given (callers normally {!sort} first). *)
+    given (callers normally {!sort} first).  A diagnostic with a
+    non-empty witness trace additionally carries a ["trace"] array of
+    step strings.  When [tool_version] / [network_hash] are given they
+    are emitted at the head of the envelope (so cached lint results
+    can be invalidated); both are omitted entirely by default, keeping
+    the historical shape byte-identical. *)

@@ -1,5 +1,10 @@
 open Slimsim_slim
 
+(* The translated network is pure data (no closures), so the marshalled
+   bytes are a stable fingerprint of the analyzed artifact. *)
+let network_hash (net : Slimsim_sta.Network.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string net []))
+
 let run tables net =
   Diagnostic.sort (Ast_checks.check tables @ Net_checks.check ~tables net)
 

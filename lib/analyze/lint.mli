@@ -6,6 +6,11 @@
     {!Slimsim_slim.Sema.analyze} produced), translation failures as
     [E002] — so a CI pipeline only ever deals with one output shape. *)
 
+val network_hash : Slimsim_sta.Network.t -> string
+(** Hex fingerprint of a translated network, for the JSON envelope of
+    [slimsim lint --format json]: lets cached lint results be
+    invalidated when the analyzed artifact changes. *)
+
 val run :
   Slimsim_slim.Sema.tables -> Slimsim_sta.Network.t -> Diagnostic.t list
 (** Lint an already-loaded model (all [W...]/[I...] checks). *)

@@ -1,0 +1,60 @@
+(** Property-directed qualitative pre-pass: sound P=0 / P=1
+    certificates for time-bounded reachability, computed statically
+    before any statistical estimation (the qualitative stage of the
+    paper's §II-C pipeline).
+
+    {b P=0} — an abstract reachability fixpoint over the {e discrete
+    skeleton} of the translated network: nodes are location vectors,
+    each carrying one abstract store ({!Absint.t} per variable, joined
+    over all visits and widened after repeated growth so unbounded
+    integer domains terminate).  All timing is discarded — delays,
+    windows, invariants and rates — every structurally enabled
+    transition may fire, and clocks/continuous variables are pinned at
+    their domain abstraction ([[0, +inf)] for clocks that are never
+    assigned a possibly-negative value, the full line otherwise).  The
+    skeleton therefore over-approximates the discrete support of every
+    run prefix: if no node can satisfy the goal, no run of the timed
+    system ever does, and [P(hold U<=u goal) = 0] for every horizon.
+    When a hold condition is given, nodes that cannot satisfy it are
+    not expanded (a concrete run ends with an [Unsat] verdict there
+    before reaching the goal).
+
+    {b P=1} — {!Slimsim_ctmc.Qualitative.certain_reachability}: every
+    path from the initial state reaches the goal after at most [depth]
+    {e delay-free} moves (time cannot elapse, no exponential race, no
+    deadlock, hold true en route), under any strategy, so the until
+    holds with probability exactly 1 at any horizon.
+
+    Both tests are one-sided: [Inconclusive] makes no claim and the
+    caller falls back to statistical estimation. *)
+
+type outcome =
+  | P0 of { states : int }  (** goal unreachable in the skeleton *)
+  | P1 of { depth : int; witness : string list; states : int }
+      (** all runs hit the goal within [depth] delay-free moves;
+          [witness] is one such path's transition descriptions *)
+  | Inconclusive of { reason : string }
+
+type report = { outcome : outcome; wall_seconds : float }
+
+val analyze :
+  ?max_nodes:int ->
+  ?widen_after:int ->
+  ?hold:Slimsim_sta.Expr.t ->
+  Slimsim_sta.Network.t ->
+  goal:Slimsim_sta.Expr.t ->
+  report
+(** Run the pre-pass on a resolved goal (and optional until-hold)
+    expression.  Never raises; analysis failures (unsupported shapes,
+    budget exhaustion) surface as [Inconclusive].  [max_nodes] bounds
+    the number of distinct location vectors (default 20_000);
+    [widen_after] is the number of joins tolerated per node before
+    widening (default 3).  The whole analysis is timed under the
+    [Slimsim_obs] phase ["prepass"]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val certificate_string : outcome -> string option
+(** ["P0"] / ["P1"] for conclusive outcomes, [None] otherwise — the
+    wire format used by the simulate summary and the lint golden
+    files. *)

@@ -18,9 +18,14 @@ let lint (m : model) =
 
 let ( let* ) = Result.bind
 
+let enum_lookup (m : model) x =
+  Option.map snd (Slimsim_slim.Sema.enum_literal m.Loader.tables x)
+
 let parse_pattern_full (m : model) src =
   let* pat = Pattern.parse src in
-  let* goal, hold, horizon = Pattern.resolve m.Loader.network pat in
+  let* goal, hold, horizon =
+    Pattern.resolve ~enum:(enum_lookup m) m.Loader.network pat
+  in
   Ok (goal, hold, horizon, pat.Pattern.complement)
 
 let parse_property (m : model) src =
@@ -41,12 +46,78 @@ type estimate = {
   worker_restarts : int;
   interrupted : bool;
   wall_seconds : float;
+  certificate : string option;
 }
+
+(* --- the qualitative pre-pass (§II-C) --- *)
+
+module Prepass = Slimsim_analyze.Prepass
+
+(* Map the skeleton outcome (computed on the resolved, possibly negated
+   goal) to a certificate about the user's property. *)
+let certificate_of ~complement (outcome : Prepass.outcome) =
+  match Prepass.certificate_string outcome, complement with
+  | Some "P0", false | Some "P1", true -> Some "P0"
+  | Some "P0", true | Some "P1", false -> Some "P1"
+  | _ -> None
+
+let prepass ?max_nodes (m : model) ~property =
+  let* goal, hold, _horizon, complement = parse_pattern_full m property in
+  let report = Prepass.analyze ?max_nodes ?hold m.Loader.network ~goal in
+  Ok (report, complement)
+
+(* Property-directed lint: turn a conclusive pre-pass into an I002
+   (statically certain) or I003 (statically vacuous) diagnostic.  A raw
+   P1 outcome always carries a witness trace — for an invariance
+   pattern that trace reaches the negated goal, i.e. it is a concrete
+   violation of the user's invariant. *)
+let lint_property ?max_nodes (m : model) ~property =
+  let module D = Slimsim_analyze.Diagnostic in
+  let module C = Slimsim_analyze.Codes in
+  match prepass ?max_nodes m ~property with
+  | Error e ->
+    [
+      D.make ~code:C.parse_error ~severity:D.Error ~pos:Slimsim_slim.Ast.no_pos
+        (Printf.sprintf "property %S: %s" property e);
+    ]
+  | Ok (report, complement) -> (
+    let trace =
+      match report.Prepass.outcome with
+      | Prepass.P1 { witness; _ } -> witness
+      | _ -> []
+    in
+    match certificate_of ~complement report.Prepass.outcome with
+    | Some "P1" ->
+      [
+        D.make ~code:C.statically_certain ~severity:D.Info
+          ~pos:Slimsim_slim.Ast.no_pos ~trace
+          (Printf.sprintf
+             "property %S is statically certain (P = 1): every run surely \
+              satisfies it; simulation would only confirm the answer"
+             property);
+      ]
+    | Some "P0" ->
+      [
+        D.make ~code:C.statically_vacuous ~severity:D.Info
+          ~pos:Slimsim_slim.Ast.no_pos ~trace
+          (Printf.sprintf
+             "property %S is statically vacuous (P = 0): no run can satisfy \
+              it; sampling cannot produce a success"
+             property);
+      ]
+    | _ -> [])
+
+let prepass_metric result =
+  if Slimsim_obs.Metrics.enabled () then
+    Slimsim_obs.Metrics.incr
+      (Slimsim_obs.Metrics.counter ~labels:[ ("result", result) ]
+         "slimsim_prepass_total"
+         ~help:"pre-pass runs by result (p0 / p1 / inconclusive)")
 
 let check ?workers ?seed ?(generator = Generator.Chernoff)
     ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor ?progress
-    ?max_steps ?max_sim_time ?max_wall_per_path (m : model) ~property ~strategy
-    ~delta ~eps () =
+    ?max_steps ?max_sim_time ?max_wall_per_path ?(prepass = true) (m : model)
+    ~property ~strategy ~delta ~eps () =
   let* goal, hold, horizon, complement = parse_pattern_full m property in
   let gen = Generator.create generator ~delta ~eps in
   let config =
@@ -59,35 +130,101 @@ let check ?workers ?seed ?(generator = Generator.Chernoff)
       max_wall_per_path;
     }
   in
-  match
-    Engine.run ?workers ?seed ~config ?engine ?on_error ?supervisor ?progress
-      ?hold m.Loader.network ~goal ~horizon ~strategy ~generator:gen ()
-  with
-  | Ok r ->
-    (* invariance patterns report the complement; "successes" keeps
-       counting the paths that reached the negated goal *)
-    let p, lo, hi =
-      if complement then
-        (1.0 -. r.Engine.probability, 1.0 -. r.Engine.ci_high, 1.0 -. r.Engine.ci_low)
-      else (r.Engine.probability, r.Engine.ci_low, r.Engine.ci_high)
-    in
+  (* The Scripted strategy hands control to a user callback (which may
+     Abort or Advance arbitrarily), so certificates about the measure
+     of all runs must not preempt it. *)
+  let scripted = match strategy with Strategy.Scripted _ -> true | _ -> false in
+  let shortcut =
+    if not (prepass && not scripted) then None
+    else begin
+      let report = Prepass.analyze ?hold m.Loader.network ~goal in
+      let answer =
+        match report.Prepass.outcome with
+        | Prepass.P0 _ -> Some 0.0
+        | Prepass.P1 { depth; _ }
+        (* All runs reach the goal within [depth] delay-free moves at
+           elapsed time 0, so no step / sim-time budget with room for
+           [depth] steps can reclassify them; a wall-clock watchdog
+           could, so its presence disables the shortcut. *)
+          when depth < config.Path.max_steps && max_wall_per_path = None ->
+          Some 1.0
+        | _ -> None
+      in
+      (match answer with
+      | Some _ ->
+        prepass_metric
+          (match report.Prepass.outcome with
+          | Prepass.P0 _ -> "p0"
+          | _ -> "p1")
+      | None -> prepass_metric "inconclusive");
+      Slimsim_obs.Log.emit ~event:"prepass"
+        [
+          ( "result",
+            Slimsim_obs.Json.String
+              (match report.Prepass.outcome with
+              | Prepass.P0 _ -> "p0"
+              | Prepass.P1 _ -> "p1"
+              | Prepass.Inconclusive _ -> "inconclusive") );
+          ("shortcut", Slimsim_obs.Json.Bool (answer <> None));
+          ("wall_seconds", Slimsim_obs.Json.Float report.Prepass.wall_seconds);
+        ];
+      Option.map (fun p -> (p, report)) answer
+    end
+  in
+  match shortcut with
+  | Some (p_raw, report) ->
+    (* Exact answer, no sampling: the certificate stands in for the
+       whole campaign.  The reported probability is complement-mapped
+       exactly like an estimated one. *)
+    let p = if complement then 1.0 -. p_raw else p_raw in
     Ok
       {
         probability = p;
-        ci_low = lo;
-        ci_high = hi;
-        paths = r.Engine.paths;
-        successes = r.Engine.successes;
-        deadlock_paths = r.Engine.deadlock_paths;
-        violated_paths = r.Engine.violated_paths;
-        errors = r.Engine.errors;
-        diverged_paths = r.Engine.diverged_paths;
-        dropped_paths = r.Engine.dropped_paths;
-        worker_restarts = r.Engine.worker_restarts;
-        interrupted = r.Engine.stopped = Engine.Interrupted;
-        wall_seconds = r.Engine.wall_seconds;
+        ci_low = p;
+        ci_high = p;
+        paths = 0;
+        successes = 0;
+        deadlock_paths = 0;
+        violated_paths = 0;
+        errors = 0;
+        diverged_paths = 0;
+        dropped_paths = 0;
+        worker_restarts = 0;
+        interrupted = false;
+        wall_seconds = report.Prepass.wall_seconds;
+        certificate = certificate_of ~complement report.Prepass.outcome;
       }
-  | Error e -> Error (Path.error_to_string e)
+  | None -> (
+    match
+      Engine.run ?workers ?seed ~config ?engine ?on_error ?supervisor ?progress
+        ?hold m.Loader.network ~goal ~horizon ~strategy ~generator:gen ()
+    with
+    | Ok r ->
+      (* invariance patterns report the complement; "successes" keeps
+         counting the paths that reached the negated goal *)
+      let p, lo, hi =
+        if complement then
+          (1.0 -. r.Engine.probability, 1.0 -. r.Engine.ci_high, 1.0 -. r.Engine.ci_low)
+        else (r.Engine.probability, r.Engine.ci_low, r.Engine.ci_high)
+      in
+      Ok
+        {
+          probability = p;
+          ci_low = lo;
+          ci_high = hi;
+          paths = r.Engine.paths;
+          successes = r.Engine.successes;
+          deadlock_paths = r.Engine.deadlock_paths;
+          violated_paths = r.Engine.violated_paths;
+          errors = r.Engine.errors;
+          diverged_paths = r.Engine.diverged_paths;
+          dropped_paths = r.Engine.dropped_paths;
+          worker_restarts = r.Engine.worker_restarts;
+          interrupted = r.Engine.stopped = Engine.Interrupted;
+          wall_seconds = r.Engine.wall_seconds;
+          certificate = None;
+        }
+    | Error e -> Error (Path.error_to_string e))
 
 type exact = {
   exact_probability : float;
@@ -162,7 +299,10 @@ let pp_estimate ppf e =
     Fmt.pf ppf " (%d diverged, %d dropped)" e.diverged_paths e.dropped_paths;
   if e.worker_restarts > 0 then
     Fmt.pf ppf " (%d worker restarts)" e.worker_restarts;
-  if e.interrupted then Fmt.pf ppf " [interrupted]"
+  if e.interrupted then Fmt.pf ppf " [interrupted]";
+  match e.certificate with
+  | Some c -> Fmt.pf ppf " [certificate %s: exact]" c
+  | None -> ()
 
 let pp_exact ppf e =
   Fmt.pf ppf "p = %.9f (%d states, %d after lumping, %.2fs)" e.exact_probability

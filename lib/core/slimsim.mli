@@ -65,6 +65,11 @@ type estimate = {
       (** the run was stopped early (SIGINT/SIGTERM or a supervisor stop
           request); the interval reflects the achieved confidence *)
   wall_seconds : float;
+  certificate : string option;
+      (** ["P0"] / ["P1"] when the qualitative pre-pass proved the
+          answer exactly and the estimate was produced without sampling
+          ([paths = 0], zero-width interval); [None] on the normal
+          Monte Carlo path *)
 }
 
 val check :
@@ -79,6 +84,7 @@ val check :
   ?max_steps:int ->
   ?max_sim_time:float ->
   ?max_wall_per_path:float ->
+  ?prepass:bool ->
   model ->
   property:string ->
   strategy:Strategy.t ->
@@ -96,7 +102,51 @@ val check :
     {!Slimsim_sim.Supervisor}; the watchdog budgets [max_steps] (default
     1_000_000), [max_sim_time] and [max_wall_per_path] classify runaway
     paths as diverged, and the supervisor's policy decides how those
-    count. *)
+    count.
+
+    [prepass] (default [true]) runs the qualitative pre-pass
+    ({!Slimsim_analyze.Prepass}) before sampling.  When it certifies
+    P=0 or P=1, [check] returns the exact answer without spawning any
+    workers: [paths = 0], a zero-width interval and
+    [certificate = Some "P0"/"P1"].  When it is inconclusive — or
+    disabled with [?prepass:false] — the estimation runs exactly as it
+    would have without the pre-pass: identical seeds, identical verdict
+    stream, identical estimate.  A P=1 certificate only short-circuits
+    when its witness depth fits under [max_steps] and no
+    [max_wall_per_path] watchdog is set (a wall-clock budget could
+    reclassify real paths that the certificate counts as successes);
+    the [Scripted] strategy disables the pre-pass, since a script may
+    abort runs arbitrarily. *)
+
+val prepass :
+  ?max_nodes:int ->
+  model ->
+  property:string ->
+  (Slimsim_analyze.Prepass.report * bool, string) result
+(** Run only the qualitative pre-pass on a property.  Returns the raw
+    report together with the pattern's complement flag: the report's
+    outcome speaks about the {e resolved} goal (invariance patterns are
+    checked via their negation), so a [P0] outcome with
+    [complement = true] certifies P=1 for the user's property, and vice
+    versa.  Used by [slimsim lint --property]. *)
+
+val certificate_of :
+  complement:bool -> Slimsim_analyze.Prepass.outcome -> string option
+(** The user-facing certificate of a pre-pass outcome: [Some "P0"] /
+    [Some "P1"] with the complement mapping of {!prepass} applied,
+    [None] when inconclusive. *)
+
+val lint_property :
+  ?max_nodes:int ->
+  model ->
+  property:string ->
+  Slimsim_analyze.Diagnostic.t list
+(** Property-directed lint: run the pre-pass and report a conclusive
+    outcome as a diagnostic — [I002] (statically certain, P=1) or
+    [I003] (statically vacuous, P=0), carrying the delay-free witness
+    trace when one exists (for an invariance pattern the P=0 witness is
+    a concrete invariant violation).  Inconclusive outcomes produce no
+    diagnostic; an unparseable property is reported as an error. *)
 
 type exact = {
   exact_probability : float;

@@ -115,15 +115,15 @@ let parse s =
         (Printf.sprintf "cannot parse property (as CSL: %s; as pattern: %s)"
            csl_err pat_err))
 
-let resolve network t =
-  match Slimsim_slim.Loader.parse_goal network t.goal_src with
+let resolve ?enum network t =
+  match Slimsim_slim.Loader.parse_goal ?enum network t.goal_src with
   | Error e -> Error e
   | Ok goal0 -> (
     let goal = if t.complement then Slimsim_sta.Expr.not_ goal0 else goal0 in
     match t.hold_src with
     | None -> Ok (goal, None, t.horizon)
     | Some h -> (
-      match Slimsim_slim.Loader.parse_goal network h with
+      match Slimsim_slim.Loader.parse_goal ?enum network h with
       | Ok hold -> Ok (goal, Some hold, t.horizon)
       | Error e -> Error e))
 

@@ -30,12 +30,14 @@ type t = {
 val parse : string -> (t, string) result
 
 val resolve :
+  ?enum:(string -> int option) ->
   Slimsim_sta.Network.t ->
   t ->
   (Slimsim_sta.Expr.t * Slimsim_sta.Expr.t option * float, string) result
 (** Resolve against a translated network: (goal, hold, horizon).  For
     an invariance pattern the returned goal is already negated — the
     caller still must complement the resulting probability (see
-    {!t.complement}). *)
+    {!t.complement}).  [enum] resolves bare enumeration literals (see
+    {!Slimsim_slim.Loader.parse_goal}). *)
 
 val to_string : t -> string

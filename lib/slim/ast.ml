@@ -16,6 +16,8 @@ type ty =
   | T_real
   | T_clock
   | T_continuous
+  | T_enum of string list
+      (* finite value set; a literal's code is its position in the list *)
 
 type name_path = string list
 (* A dotted reference, e.g. ["gps"; "fix"]. *)
@@ -197,6 +199,7 @@ let ty_to_string = function
   | T_real -> "real"
   | T_clock -> "clock"
   | T_continuous -> "continuous"
+  | T_enum ls -> Printf.sprintf "enum (%s)" (String.concat ", " ls)
 
 let path_to_string p = String.concat "." p
 

@@ -5,12 +5,14 @@ type t = {
   severity : severity;
   pos : Ast.pos;
   msg : string;
+  trace : string list;
 }
 
-let make ~code ~severity ~pos msg = { code; severity; pos; msg }
+let make ?(trace = []) ~code ~severity ~pos msg =
+  { code; severity; pos; msg; trace }
 
-let makef ~code ~severity ~pos fmt =
-  Format.kasprintf (fun msg -> { code; severity; pos; msg }) fmt
+let makef ?(trace = []) ~code ~severity ~pos fmt =
+  Format.kasprintf (fun msg -> { code; severity; pos; msg; trace }) fmt
 
 let severity_to_string = function
   | Error -> "error"

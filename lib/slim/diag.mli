@@ -12,11 +12,16 @@ type t = {
   severity : severity;
   pos : Ast.pos;  (** [Ast.no_pos] when no source location applies *)
   msg : string;
+  trace : string list;
+      (** optional witness/counterexample steps (certificates, invariant
+          violations); empty for ordinary findings *)
 }
 
-val make : code:string -> severity:severity -> pos:Ast.pos -> string -> t
+val make :
+  ?trace:string list -> code:string -> severity:severity -> pos:Ast.pos -> string -> t
 
 val makef :
+  ?trace:string list ->
   code:string ->
   severity:severity ->
   pos:Ast.pos ->

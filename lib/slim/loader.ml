@@ -25,6 +25,6 @@ let load_file path =
   | src -> load_string src
   | exception Sys_error msg -> Error msg
 
-let parse_goal network src =
+let parse_goal ?enum network src =
   let* e = Parser.parse_expression ~allow_mode_atoms:true src in
-  Translate.resolve_property network e
+  Translate.resolve_property ?enum network e

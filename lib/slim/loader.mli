@@ -11,6 +11,10 @@ val load_string : string -> (loaded, string) result
 val load_file : string -> (loaded, string) result
 
 val parse_goal :
-  Slimsim_sta.Network.t -> string -> (Slimsim_sta.Expr.t, string) result
+  ?enum:(string -> int option) ->
+  Slimsim_sta.Network.t ->
+  string ->
+  (Slimsim_sta.Expr.t, string) result
 (** Parse and resolve a Boolean property expression (with [in mode]
-    atoms) against a loaded network. *)
+    atoms) against a loaded network.  [enum] resolves bare enumeration
+    literals to integer codes (see {!Translate.resolve_property}). *)

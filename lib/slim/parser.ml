@@ -220,6 +220,16 @@ let parse_ty st =
       T_int_range (a, b)
     end
     else T_int
+  else if kw st "enum" then begin
+    expect st Token.LPAREN;
+    let rec go acc =
+      let l = ident st in
+      if accept st Token.COMMA then go (l :: acc) else List.rev (l :: acc)
+    in
+    let ls = go [] in
+    expect st Token.RPAREN;
+    T_enum ls
+  end
   else error st "expected a type but found %s" (Token.to_string (peek_tok st))
 
 let parse_dir st =

@@ -11,19 +11,26 @@ type tables = {
   error_models : (string, error_model) Hashtbl.t;
   extensions : extension list;
   root_impl : comp_impl;
+  enum_lits : (string, string list * int) Hashtbl.t;
+      (* literal -> (signature, code); literals are model-global, one
+         signature per literal (checked in [analyze]) *)
 }
 
-type ety = Ty_bool | Ty_int | Ty_real
+type ety = Ty_bool | Ty_int | Ty_real | Ty_enum of string list
 
 let ety_of_ty = function
   | T_bool -> Ty_bool
   | T_int | T_int_range _ -> Ty_int
   | T_real | T_clock | T_continuous -> Ty_real
+  | T_enum ls -> Ty_enum ls
 
 let ety_to_string = function
   | Ty_bool -> "bool"
   | Ty_int -> "int"
   | Ty_real -> "real"
+  | Ty_enum ls -> Printf.sprintf "enum (%s)" (String.concat ", " ls)
+
+let enum_literal tables l = Hashtbl.find_opt tables.enum_lits l
 
 let find_feature ct name =
   List.find_opt (fun f -> f.f_name = name) ct.ct_features
@@ -77,9 +84,14 @@ let resolve_data_path ctx ci pos p : ety option =
         | Some { f_kind = P_event; _ } ->
           err ctx pos "%S is an event port, not data" x;
           None
-        | None ->
-          err ctx pos "unknown data element %S" x;
-          None)))
+        | None -> (
+          (* bare identifiers fall back to enumeration literals;
+             variables and ports shadow them *)
+          match enum_literal ctx.tables x with
+          | Some (ls, _) -> Some (Ty_enum ls)
+          | None ->
+            err ctx pos "unknown data element %S" x;
+            None))))
   | [ s; x ] -> (
     match find_comp_sub ci s with
     | None ->
@@ -110,6 +122,9 @@ let rec infer ctx ci pos (e : expr) : ety option =
     | Some Ty_bool, _ | _, Some Ty_bool ->
       err ctx pos "arithmetic on a Boolean";
       None
+    | Some (Ty_enum _), _ | _, Some (Ty_enum _) ->
+      err ctx pos "arithmetic on an enumeration";
+      None
     | Some Ty_int, Some Ty_int -> Some Ty_int
     | Some _, Some _ -> Some Ty_real
     | _ -> None
@@ -133,6 +148,9 @@ let rec infer ctx ci pos (e : expr) : ety option =
     | Some Ty_bool ->
       err ctx pos "'-' applied to bool";
       None
+    | Some (Ty_enum _) ->
+      err ctx pos "'-' applied to an enumeration";
+      None
     | t -> t)
   | E_binop ((B_and | B_or | B_implies), e1, e2) ->
     List.iter
@@ -149,12 +167,19 @@ let rec infer ctx ci pos (e : expr) : ety option =
       ->
       err ctx pos "comparing a Boolean with a number";
       Some Ty_bool
+    | Some (Ty_enum l1), Some (Ty_enum l2) ->
+      if l1 <> l2 then err ctx pos "comparing values of different enumerations";
+      Some Ty_bool
+    | Some (Ty_enum _), Some _ | Some _, Some (Ty_enum _) ->
+      err ctx pos "comparing an enumeration with a non-enumeration";
+      Some Ty_bool
     | _ -> Some Ty_bool)
   | E_binop ((B_lt | B_le | B_gt | B_ge), e1, e2) ->
     List.iter
       (fun e' ->
         match infer ctx ci pos e' with
         | Some Ty_bool -> err ctx pos "ordering a Boolean"
+        | Some (Ty_enum _) -> err ctx pos "ordering an enumeration"
         | Some (Ty_int | Ty_real) | None -> ())
       [ e1; e2 ];
     Some Ty_bool
@@ -182,6 +207,7 @@ let assignable ~target ~value =
   | Ty_bool, Ty_bool -> true
   | Ty_int, Ty_int -> true
   | Ty_real, (Ty_int | Ty_real) -> true
+  | Ty_enum l1, Ty_enum l2 -> l1 = l2
   | _ -> false
 
 (* --- component types --- *)
@@ -199,13 +225,19 @@ let check_comp_type ctx ct =
             f.f_name
         | T_int_range (a, b) when a > b ->
           err ctx f.f_pos "port %S: empty integer range" f.f_name
+        | T_enum ls when List.length (List.sort_uniq compare ls) <> List.length ls
+          ->
+          err ctx f.f_pos "port %S: duplicate enumeration literal" f.f_name
         | _ -> ());
         match default with
         | None -> ()
         | Some (E_bool _) when ety_of_ty ty = Ty_bool -> ()
-        | Some (E_int _) when ety_of_ty ty <> Ty_bool -> ()
+        | Some (E_int _) when (match ty with T_enum _ -> false | _ -> ety_of_ty ty <> Ty_bool) -> ()
         | Some (E_real _) when ety_of_ty ty = Ty_real -> ()
-        | Some (E_unop (U_neg, (E_int _ | E_real _))) when ety_of_ty ty <> Ty_bool
+        | Some (E_unop (U_neg, (E_int _ | E_real _)))
+          when (match ty with T_enum _ -> false | _ -> ety_of_ty ty <> Ty_bool) ->
+          ()
+        | Some (E_path [ l ]) when (match ty with T_enum ls -> List.mem l ls | _ -> false)
           ->
           ()
         | Some _ ->
@@ -236,6 +268,9 @@ let check_comp_impl ctx ci =
         (match d.sd_ty with
         | T_int_range (a, b) when a > b ->
           err ctx d.sd_pos "%S: empty integer range" d.sd_name
+        | T_enum ls when List.length (List.sort_uniq compare ls) <> List.length ls
+          ->
+          err ctx d.sd_pos "%S: duplicate enumeration literal" d.sd_name
         | _ -> ());
         match d.sd_init, d.sd_ty with
         | None, _ -> ()
@@ -415,11 +450,7 @@ let check_comp_impl ctx ci =
               match p with
               | [ x ] -> (
                 match find_data_sub ci x with
-                | Some d -> (
-                  match d.sd_ty with
-                  | T_clock | T_continuous | T_bool | T_int | T_int_range _
-                  | T_real ->
-                    Some (ety_of_ty d.sd_ty))
+                | Some d -> Some (ety_of_ty d.sd_ty)
                 | None -> (
                   match Hashtbl.find_opt ctx.tables.comp_types ci.ci_type with
                   | None -> None
@@ -616,10 +647,44 @@ let analyze (m : model) =
           ci_transitions = [];
           ci_pos = no_pos;
         };
+      enum_lits = Hashtbl.create 16;
     }
   in
   let errors = ref [] in
   let ctx = { tables; errors } in
+  (* Register enumeration literals model-wide.  A literal may appear in
+     several declarations as long as the signature (the full ordered
+     literal list) is identical everywhere; otherwise a bare identifier
+     would be ambiguous. *)
+  let register_enum pos ls =
+    List.iteri
+      (fun i l ->
+        match Hashtbl.find_opt tables.enum_lits l with
+        | Some (ls', _) when ls' <> ls ->
+          err ctx pos
+            "enumeration literal %S belongs to two different enumerations" l
+        | Some _ -> ()
+        | None -> Hashtbl.add tables.enum_lits l (ls, i))
+      ls
+  in
+  List.iter
+    (function
+      | D_comp_type ct ->
+        List.iter
+          (fun f ->
+            match f.f_kind with
+            | P_data (T_enum ls, _) -> register_enum f.f_pos ls
+            | P_data _ | P_event -> ())
+          ct.ct_features
+      | D_comp_impl ci ->
+        List.iter
+          (function
+            | Sub_data { sd_ty = T_enum ls; sd_pos; _ } ->
+              register_enum sd_pos ls
+            | Sub_data _ | Sub_comp _ -> ())
+          ci.ci_subcomps
+      | D_error_model _ | D_extension _ -> ())
+    m.declarations;
   List.iter
     (function
       | D_comp_type ct ->

@@ -16,6 +16,9 @@ type tables = {
   error_models : (string, Ast.error_model) Hashtbl.t;
   extensions : Ast.extension list;
   root_impl : Ast.comp_impl;
+  enum_lits : (string, string list * int) Hashtbl.t;
+      (** enumeration literal -> (signature, code); model-global, one
+          signature per literal *)
 }
 
 val analyze : Ast.model -> (tables, error list) result
@@ -24,11 +27,16 @@ val find_feature : Ast.comp_type -> string -> Ast.feature option
 val find_data_sub : Ast.comp_impl -> string -> Ast.data_sub option
 val find_comp_sub : Ast.comp_impl -> string -> Ast.comp_sub option
 
-type ety = Ty_bool | Ty_int | Ty_real
+type ety = Ty_bool | Ty_int | Ty_real | Ty_enum of string list
 (** Erased expression types: ranges erase to [Ty_int], clocks and
-    continuous variables to [Ty_real]. *)
+    continuous variables to [Ty_real]; enumerations keep their
+    signature so only same-signature values compare. *)
 
 val ety_of_ty : Ast.ty -> ety
+
+val enum_literal : tables -> string -> (string list * int) option
+(** [enum_literal t l] is the signature and integer code of enumeration
+    literal [l], if any enum type in the model declares it. *)
 
 val pp_error : Format.formatter -> error -> unit
 val errors_to_string : error list -> string

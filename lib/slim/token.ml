@@ -20,7 +20,7 @@ let keywords =
     "implementation"; "features"; "subcomponents"; "connections"; "modes";
     "transitions"; "flows"; "end"; "in"; "out"; "event"; "data"; "port"; "mode";
     "initial"; "while"; "der"; "when"; "then"; "rate"; "reset"; "bool";
-    "int"; "real"; "clock"; "continuous"; "true"; "false"; "and"; "or";
+    "int"; "real"; "clock"; "continuous"; "enum"; "true"; "false"; "and"; "or";
     "not"; "mod"; "min"; "max"; "error"; "model"; "states"; "state";
     "events"; "occurrence"; "poisson"; "propagations"; "propagation";
     "within"; "extend"; "with"; "injections"; "inject"; "activation";

@@ -91,15 +91,16 @@ let add_event b name =
 (* ------------------------------------------------------------------ *)
 (* Constant evaluation for initializers.                                *)
 
-let rec const_eval (e : Ast.expr) : V.t =
+let rec const_eval (tables : Sema.tables) (e : Ast.expr) : V.t =
   match e with
   | Ast.E_bool b -> V.Bool b
   | Ast.E_int n -> V.Int n
   | Ast.E_real x -> V.Real x
-  | Ast.E_unop (Ast.U_neg, e1) -> V.neg (const_eval e1)
-  | Ast.E_unop (Ast.U_not, e1) -> V.Bool (not (V.as_bool (const_eval e1)))
+  | Ast.E_unop (Ast.U_neg, e1) -> V.neg (const_eval tables e1)
+  | Ast.E_unop (Ast.U_not, e1) ->
+    V.Bool (not (V.as_bool (const_eval tables e1)))
   | Ast.E_binop (op, e1, e2) -> (
-    let v1 = const_eval e1 and v2 = const_eval e2 in
+    let v1 = const_eval tables e1 and v2 = const_eval tables e2 in
     match op with
     | Ast.B_add -> V.add v1 v2
     | Ast.B_sub -> V.sub v1 v2
@@ -109,6 +110,10 @@ let rec const_eval (e : Ast.expr) : V.t =
     | Ast.B_min -> V.min_v v1 v2
     | Ast.B_max -> V.max_v v1 v2
     | _ -> fail "initializer must be a constant numeric expression")
+  | Ast.E_path [ x ] when Sema.enum_literal tables x <> None -> (
+    match Sema.enum_literal tables x with
+    | Some (_, code) -> V.Int code
+    | None -> assert false)
   | Ast.E_path p -> fail "initializer references %s (must be constant)" (Ast.path_to_string p)
   | Ast.E_in_mode _ -> fail "initializer cannot use 'in mode'"
 
@@ -119,11 +124,13 @@ let default_init (ty : Ast.ty) =
   | Ast.T_int_range (a, _) -> V.Int a
   | Ast.T_real -> V.Real 0.0
   | Ast.T_clock | Ast.T_continuous -> V.Real 0.0
+  | Ast.T_enum _ -> V.Int 0
 
 let kind_of_ty = function
   | Ast.T_clock -> N.Clock
   | Ast.T_continuous -> N.Continuous
-  | Ast.T_bool | Ast.T_int | Ast.T_int_range _ | Ast.T_real -> N.Discrete
+  | Ast.T_bool | Ast.T_int | Ast.T_int_range _ | Ast.T_real | Ast.T_enum _ ->
+    N.Discrete
 
 (* ------------------------------------------------------------------ *)
 (* Name resolution within an instance.                                  *)
@@ -147,6 +154,14 @@ let rec tr_expr b inst (e : Ast.expr) : E.t =
   | Ast.E_bool v -> E.bool v
   | Ast.E_int n -> E.int n
   | Ast.E_real x -> E.real x
+  | Ast.E_path ([ x ] as p) -> (
+    (* variables shadow enumeration literals *)
+    match Hashtbl.find_opt b.var_idx (key_in inst p) with
+    | Some _ -> E.var (read_var b inst p)
+    | None -> (
+      match Sema.enum_literal b.tables x with
+      | Some (_, code) -> E.int code
+      | None -> E.var (read_var b inst p)))
   | Ast.E_path p -> E.var (read_var b inst p)
   | Ast.E_in_mode _ -> fail "'in mode' is only allowed in properties"
   | Ast.E_unop (Ast.U_neg, e1) -> E.Unop (E.Neg, tr_expr b inst e1)
@@ -176,7 +191,7 @@ let declare_vars b =
             let init =
               match d.sd_init with
               | None -> default_init d.sd_ty
-              | Some e -> const_eval e
+              | Some e -> const_eval b.tables e
             in
             ignore (add_var b (key_in inst [ d.sd_name ]) (kind_of_ty d.sd_ty) init)
           | Ast.Sub_comp _ -> ())
@@ -187,7 +202,9 @@ let declare_vars b =
           | Ast.P_event -> ()
           | Ast.P_data (ty, default) ->
             let init =
-              match default with None -> default_init ty | Some e -> const_eval e
+              match default with
+              | None -> default_init ty
+              | Some e -> const_eval b.tables e
             in
             let k = key_in inst [ f.f_name ] in
             ignore (add_var b k N.Discrete init);
@@ -898,7 +915,8 @@ let translate (tables : Sema.tables) =
 (* ------------------------------------------------------------------ *)
 (* Property resolution.                                                 *)
 
-let resolve_property (net : Slimsim_sta.Network.t) (e : Ast.expr) =
+let resolve_property ?(enum = fun _ -> None)
+    (net : Slimsim_sta.Network.t) (e : Ast.expr) =
   let exception Res_error of string in
   let fail fmt = Format.kasprintf (fun s -> raise (Res_error s)) fmt in
   let lookup_var p =
@@ -957,6 +975,18 @@ let resolve_property (net : Slimsim_sta.Network.t) (e : Ast.expr) =
     | Ast.E_bool v -> E.bool v
     | Ast.E_int n -> E.int n
     | Ast.E_real x -> E.real x
+    | Ast.E_path ([ x ] as p) -> (
+      (* variables shadow enumeration literals, as in model expressions *)
+      let full = join p in
+      match N.find_var net (full ^ "#inj") with
+      | Some v -> E.var v
+      | None -> (
+        match N.find_var net full with
+        | Some v -> E.var v
+        | None -> (
+          match enum x with
+          | Some code -> E.int code
+          | None -> fail "unknown variable %s" full)))
     | Ast.E_path p -> E.var (lookup_var p)
     | Ast.E_in_mode (p, m) ->
       let proc, l = lookup_mode p m in

@@ -24,9 +24,14 @@
 val translate : Sema.tables -> (Slimsim_sta.Network.t, string) result
 
 val resolve_property :
-  Slimsim_sta.Network.t -> Ast.expr -> (Slimsim_sta.Expr.t, string) result
+  ?enum:(string -> int option) ->
+  Slimsim_sta.Network.t ->
+  Ast.expr ->
+  (Slimsim_sta.Expr.t, string) result
 (** Resolve a property expression against the translated network: dotted
     paths name variables from the root (preferring the observed
     [#inj] view of injected ports), and [path in mode m] resolves
     against the instance's nominal process or one of its error
-    automata. *)
+    automata.  [enum] maps enumeration literals to their integer codes
+    (see {!Sema.enum_literal}); bare identifiers that are not variables
+    fall back to it. *)

@@ -13,6 +13,7 @@ let () =
       ("ctmc", Test_ctmc.suite);
       ("safety", Test_safety.suite);
       ("analyze", Test_analyze.suite);
+      ("prepass", Test_prepass.suite);
       ("features", Test_features.suite);
       ("robustness", Test_robustness.suite);
       ("supervisor", Test_supervisor.suite);
