@@ -404,8 +404,29 @@ let micro ?(quick = false) ?(json = false) () =
     one_path_compiled ~config:supervised_cfg nominal_net nominal_goal
       Strategy.Asap
   in
+  (* serve's compiled-network cache: a cold submission pays parse +
+     elaborate + translate + stage; a repeat submission of the same text
+     is a digest lookup.  The gap is the amortization the resident
+     service exists to provide. *)
+  let serve_cache = Slimsim_serve.Cache.create ~capacity:4 in
+  (match Slimsim_serve.Cache.load serve_cache ~source:Gps.source with
+  | Ok _ -> ()
+  | Error e -> failwith e);
   let tests =
     [
+      Test.make ~name:"serve:submit-cold-compile"
+        (Staged.stage (fun () ->
+             let c = Slimsim_serve.Cache.create ~capacity:1 in
+             match Slimsim_serve.Cache.load c ~source:Gps.source with
+             | Ok (_, `Miss) -> ()
+             | Ok (_, `Hit) -> failwith "fresh cache cannot hit"
+             | Error e -> failwith e));
+      Test.make ~name:"serve:submit-cache-hit"
+        (Staged.stage (fun () ->
+             match Slimsim_serve.Cache.load serve_cache ~source:Gps.source with
+             | Ok (_, `Hit) -> ()
+             | Ok (_, `Miss) -> failwith "warmed cache cannot miss"
+             | Error e -> failwith e));
       Test.make ~name:"table1:one-path-sensor-filter"
         (Staged.stage (fun () -> one_path sf2_net sf2_goal Strategy.Asap 1L));
       Test.make ~name:"table1:one-path-sensor-filter-compiled"

@@ -18,7 +18,7 @@ module Metrics = Slimsim_obs.Metrics
 module Log = Slimsim_obs.Log
 module Json = Slimsim_obs.Json
 
-let version = "1.0.0"
+let version = S.tool_version
 
 let load file =
   match S.load_file file with
@@ -361,11 +361,28 @@ let simulate_cmd =
              certificate and zero sampled paths; with this flag (or whenever \
              the pre-pass is inconclusive) the Monte Carlo campaign runs \
              unchanged — same seeds, same verdict stream, same estimate.")
+  and buffer =
+    Arg.(
+      value & opt int 256
+      & info [ "buffer" ] ~docv:"N"
+          ~doc:
+            "Parallel collection: how many samples one worker may run ahead \
+             of the collector before its push blocks.  Larger buffers smooth \
+             out path-length variance between workers at the cost of memory; \
+             the verdict stream is independent of the value.")
+  and drop_stall_limit =
+    Arg.(
+      value & opt int 10_000
+      & info [ "drop-stall-limit" ] ~docv:"N"
+          ~doc:
+            "Under --on-divergence drop, abort after $(docv) consecutive \
+             dropped samples — a campaign whose paths (almost) all diverge \
+             can never converge, only spin.")
   in
   let run file prop strategy delta eps workers generator deadlock_error engine
       on_error seed no_lint max_steps max_sim_time max_wall_per_path
       on_divergence checkpoint checkpoint_every resume metrics log_json
-      progress no_prepass =
+      progress no_prepass buffer drop_stall_limit =
     (* Observability comes up before the model loads so the front-end
        phase timings land in the metrics and the event log. *)
     if metrics <> None then Metrics.set_enabled true;
@@ -400,9 +417,12 @@ let simulate_cmd =
         (fun file -> { Slimsim_sim.Supervisor.file; every = checkpoint_every })
         checkpoint
     in
+    if buffer <= 0 then die 1 "slimsim: --buffer must be positive";
+    if drop_stall_limit <= 0 then
+      die 1 "slimsim: --drop-stall-limit must be positive";
     let supervisor =
       Slimsim_sim.Supervisor.create ~on_divergence ?checkpoint ~resume
-        ?metrics_file:metrics ()
+        ?metrics_file:metrics ~max_buffer:buffer ~drop_stall_limit ()
     in
     Slimsim_sim.Supervisor.install_signal_handlers supervisor;
     let progress =
@@ -470,7 +490,7 @@ let simulate_cmd =
       $ generator $ deadlock_error $ engine $ on_error $ seed_arg $ no_lint_arg
       $ max_steps $ max_sim_time $ max_wall_per_path $ on_divergence
       $ checkpoint $ checkpoint_every $ resume $ metrics $ log_json $ progress
-      $ no_prepass)
+      $ no_prepass $ buffer $ drop_stall_limit)
 
 (* --- exact --- *)
 
@@ -720,6 +740,247 @@ let interactive_cmd =
     (Cmd.info "interactive" ~doc:"Drive a single path by hand (the Input strategy)")
     Term.(const run $ model_arg $ prop_arg)
 
+(* --- serve / client (the resident campaign service) --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let cache =
+    Arg.(
+      value & opt int 8
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Compiled STA networks kept resident (LRU eviction beyond).")
+  and slice =
+    Arg.(
+      value & opt int 64
+      & info [ "slice" ] ~docv:"N"
+          ~doc:
+            "Paths one campaign consumes per scheduling turn before the \
+             fair-share scheduler rotates to the next tenant.")
+  and max_campaigns =
+    Arg.(
+      value & opt int 4
+      & info [ "max-campaigns" ] ~docv:"N"
+          ~doc:
+            "Admission control: unfinished campaigns one tenant may hold; \
+             further submissions are rejected, not queued.")
+  and max_paths =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:
+            "Per-campaign path budget; a campaign that exceeds it is stopped \
+             cooperatively and reports a partial, interrupted estimate \
+             tagged budget=paths.")
+  and max_wall =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-wall" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-campaign active-stepping budget (parked time is not \
+             billed); exceeding it stops the campaign with budget=wall.")
+  and max_workers =
+    Arg.(
+      value & opt int 4
+      & info [ "max-workers" ] ~docv:"N"
+          ~doc:"Cap on the worker domains any one submission may request.")
+  and metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the Prometheus exposition (slimsim_serve_* series \
+             included) to $(docv) at shutdown; the metrics op serves it \
+             live.")
+  and log_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-json" ] ~docv:"FILE"
+          ~doc:"Append serve lifecycle events to $(docv), one JSON per line.")
+  in
+  let run socket cache slice max_campaigns max_paths max_wall max_workers
+      metrics log_json =
+    if cache <= 0 then or_die (Error "slimsim: --cache must be positive");
+    if slice <= 0 then or_die (Error "slimsim: --slice must be positive");
+    let cfg =
+      {
+        (Slimsim_serve.Service.default_config ~socket_path:socket) with
+        cache_capacity = cache;
+        slice;
+        max_campaigns_per_tenant = max_campaigns;
+        max_paths_per_campaign = max_paths;
+        max_wall_per_campaign = max_wall;
+        max_workers;
+        metrics_file = metrics;
+        event_log = log_json;
+      }
+    in
+    Slimsim_serve.Service.run cfg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident campaign service: a persistent process that \
+          caches compiled networks, admits campaigns per tenant and \
+          time-slices them fairly.  Protocol: one JSON object per line \
+          over the Unix socket (see docs/SERVICE.md).  Exit status: 0 on a \
+          shutdown request or SIGINT/SIGTERM.")
+    Term.(
+      const run $ socket_arg $ cache $ slice $ max_campaigns $ max_paths
+      $ max_wall $ max_workers $ metrics $ log_json)
+
+let client_cmd =
+  let model_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc:"SLIM model file")
+  and prop_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "property" ] ~docv:"PROP" ~doc:"Property to estimate.")
+  and delta =
+    Arg.(value & opt float 0.05 & info [ "d"; "delta" ] ~doc:"Confidence parameter.")
+  and eps = Arg.(value & opt float 0.01 & info [ "e"; "eps" ] ~doc:"Error bound.")
+  and workers =
+    Arg.(value & opt int 1 & info [ "j"; "workers" ] ~doc:"Requested workers.")
+  and generator =
+    Arg.(
+      value & opt string "chernoff"
+      & info [ "g"; "generator" ]
+          ~doc:"Sample-count rule: chernoff, hoeffding, gauss or chow-robbins.")
+  and tenant =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant identity for admission control.")
+  and no_wait =
+    Arg.(
+      value & flag
+      & info [ "no-wait" ]
+          ~doc:"Print the submission receipt and return without waiting.")
+  and raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"JSON"
+          ~doc:
+            "Send one raw request object instead of submitting a model \
+             (e.g. '{\"op\":\"stats\"}' or '{\"op\":\"shutdown\"}').")
+  in
+  let run socket model prop strategy seed delta eps workers generator tenant
+      no_wait raw =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       or_die
+         (Error (Printf.sprintf "%s: cannot connect (%s)" socket (Unix.error_message e))));
+    let ic = Unix.in_channel_of_descr fd in
+    let send line =
+      let line = line ^ "\n" in
+      ignore (Unix.write_substring fd line 0 (String.length line))
+    in
+    let recv () =
+      match input_line ic with
+      | line -> line
+      | exception End_of_file -> or_die (Error "connection closed by the service")
+    in
+    let is_ok line =
+      match Json.parse line with
+      | Ok j -> Json.member "ok" j = Some (Json.Bool true)
+      | Error _ -> false
+    in
+    let field line key =
+      match Json.parse line with Ok j -> Json.member key j | Error _ -> None
+    in
+    (match raw with
+    | Some req ->
+      send req;
+      let reply = recv () in
+      print_endline reply;
+      if not (is_ok reply) then exit 1
+    | None ->
+      let file =
+        match model with
+        | Some f -> f
+        | None -> or_die (Error "slimsim client: MODEL required (or use --raw)")
+      in
+      let property =
+        match prop with
+        | Some p -> p
+        | None -> or_die (Error "slimsim client: --property required (or use --raw)")
+      in
+      let source =
+        try In_channel.with_open_bin file In_channel.input_all
+        with Sys_error e -> or_die (Error e)
+      in
+      let generator =
+        match S.Generator.kind_of_string generator with
+        | Ok g -> g
+        | Error e -> or_die (Error e)
+      in
+      let submit =
+        {
+          Slimsim_serve.Protocol.submit_defaults with
+          tenant;
+          model_source = Some source;
+          property;
+          strategy;
+          delta;
+          eps;
+          seed;
+          generator;
+          workers;
+        }
+      in
+      send (Json.to_string (Slimsim_serve.Protocol.submit_to_json submit));
+      let receipt = recv () in
+      print_endline receipt;
+      if not (is_ok receipt) then exit 1;
+      if not no_wait then begin
+        let id =
+          match field receipt "id" with
+          | Some (Json.String id) -> id
+          | _ -> or_die (Error "malformed receipt: no campaign id")
+        in
+        send
+          (Json.to_string
+             (Json.Obj [ ("op", Json.String "wait"); ("id", Json.String id) ]));
+        let final = recv () in
+        print_endline final;
+        if not (is_ok final) then exit 1;
+        match field final "state" with
+        | Some (Json.String "done") -> ()
+        | Some (Json.String "cancelled") -> exit 4
+        | _ -> exit 1
+      end);
+    close_in_noerr ic
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit a campaign to a running service and (by default) wait for \
+          its estimate, printing the service's JSON responses.  Exit \
+          status: 0 converged, 1 rejected or failed, 4 cancelled or cut by \
+          a tenant budget.")
+    Term.(
+      const run $ socket_arg $ model_opt $ prop_opt $ strategy_arg $ seed_arg
+      $ delta $ eps $ workers $ generator $ tenant $ no_wait $ raw)
+
+let version_cmd =
+  let run () = print_endline version in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the tool version (the same string stamped into the lint \
+          JSON envelope and exchanged in the serve protocol handshake).")
+    Term.(const run $ const ())
+
 let () =
   let doc = "statistical model checking of timed reachability for SLIM/AADL models" in
   exit
@@ -728,5 +989,6 @@ let () =
           [
             info_cmd; lint_cmd; simulate_cmd; exact_cmd; trace_cmd;
             interactive_cmd; cutsets_cmd; fmea_cmd; fdir_cmd;
-            diagnosability_cmd; verify_cmd; dot_cmd;
+            diagnosability_cmd; verify_cmd; dot_cmd; serve_cmd; client_cmd;
+            version_cmd;
           ]))

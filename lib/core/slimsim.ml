@@ -3,7 +3,10 @@ module Generator = Slimsim_stats.Generator
 module Loader = Slimsim_slim.Loader
 module Pattern = Slimsim_props.Pattern
 module Engine = Slimsim_sim.Engine
+module Campaign = Slimsim_sim.Campaign
 module Path = Slimsim_sim.Path
+
+let tool_version = "1.1.0"
 
 type model = Loader.loaded
 
@@ -107,6 +110,69 @@ let lint_property ?max_nodes (m : model) ~property =
       ]
     | _ -> [])
 
+(* --- campaigns as values (the serve-mode workhorse) --- *)
+
+type prepared = {
+  campaign : Campaign.t;
+  complement : bool;
+  horizon : float;
+}
+
+let make_config ?max_steps ?max_sim_time ?max_wall_per_path ~on_deadlock
+    ~horizon () =
+  let base = { (Path.default_config ~horizon) with Path.on_deadlock } in
+  {
+    base with
+    Path.max_steps =
+      (match max_steps with Some n -> n | None -> base.Path.max_steps);
+    max_sim_time;
+    max_wall_per_path;
+  }
+
+let prepare ?workers ?seed ?(generator = Generator.Chernoff)
+    ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor ?progress
+    ?max_steps ?max_sim_time ?max_wall_per_path ?compiled (m : model)
+    ~property ~strategy ~delta ~eps () =
+  let* goal, hold, horizon, complement = parse_pattern_full m property in
+  let gen = Generator.create generator ~delta ~eps in
+  let config =
+    make_config ?max_steps ?max_sim_time ?max_wall_per_path ~on_deadlock
+      ~horizon ()
+  in
+  match
+    Campaign.create ?workers ?seed ~config ?engine ?on_error ?hold ?supervisor
+      ?progress ?compiled m.Loader.network ~goal ~horizon ~strategy
+      ~generator:gen ()
+  with
+  | Ok c -> Ok { campaign = c; complement; horizon }
+  | Error e -> Error (Path.error_to_string e)
+
+(* invariance patterns report the complement; "successes" keeps counting
+   the paths that reached the negated goal *)
+let estimate_of_result p (r : Campaign.result) =
+  let pr, lo, hi =
+    if p.complement then
+      (1.0 -. r.Campaign.probability, 1.0 -. r.Campaign.ci_high,
+       1.0 -. r.Campaign.ci_low)
+    else (r.Campaign.probability, r.Campaign.ci_low, r.Campaign.ci_high)
+  in
+  {
+    probability = pr;
+    ci_low = lo;
+    ci_high = hi;
+    paths = r.Campaign.paths;
+    successes = r.Campaign.successes;
+    deadlock_paths = r.Campaign.deadlock_paths;
+    violated_paths = r.Campaign.violated_paths;
+    errors = r.Campaign.errors;
+    diverged_paths = r.Campaign.diverged_paths;
+    dropped_paths = r.Campaign.dropped_paths;
+    worker_restarts = r.Campaign.worker_restarts;
+    interrupted = r.Campaign.stopped = Campaign.Interrupted;
+    wall_seconds = r.Campaign.wall_seconds;
+    certificate = None;
+  }
+
 let prepass_metric result =
   if Slimsim_obs.Metrics.enabled () then
     Slimsim_obs.Metrics.incr
@@ -119,16 +185,9 @@ let check ?workers ?seed ?(generator = Generator.Chernoff)
     ?max_steps ?max_sim_time ?max_wall_per_path ?(prepass = true) (m : model)
     ~property ~strategy ~delta ~eps () =
   let* goal, hold, horizon, complement = parse_pattern_full m property in
-  let gen = Generator.create generator ~delta ~eps in
   let config =
-    let base = { (Path.default_config ~horizon) with Path.on_deadlock } in
-    {
-      base with
-      Path.max_steps =
-        (match max_steps with Some n -> n | None -> base.Path.max_steps);
-      max_sim_time;
-      max_wall_per_path;
-    }
+    make_config ?max_steps ?max_sim_time ?max_wall_per_path ~on_deadlock
+      ~horizon ()
   in
   (* The Scripted strategy hands control to a user callback (which may
      Abort or Advance arbitrarily), so certificates about the measure
@@ -195,36 +254,25 @@ let check ?workers ?seed ?(generator = Generator.Chernoff)
         certificate = certificate_of ~complement report.Prepass.outcome;
       }
   | None -> (
+    (* The sampling path is "create a campaign, drive it to
+       completion": the same resumable value a resident service steps
+       incrementally, driven in one shot here. *)
     match
-      Engine.run ?workers ?seed ~config ?engine ?on_error ?supervisor ?progress
-        ?hold m.Loader.network ~goal ~horizon ~strategy ~generator:gen ()
+      prepare ?workers ?seed ~generator ~on_deadlock ?engine ?on_error
+        ?supervisor ?progress ?max_steps ?max_sim_time ?max_wall_per_path m
+        ~property ~strategy ~delta ~eps ()
     with
-    | Ok r ->
-      (* invariance patterns report the complement; "successes" keeps
-         counting the paths that reached the negated goal *)
-      let p, lo, hi =
-        if complement then
-          (1.0 -. r.Engine.probability, 1.0 -. r.Engine.ci_high, 1.0 -. r.Engine.ci_low)
-        else (r.Engine.probability, r.Engine.ci_low, r.Engine.ci_high)
+    | Error e -> Error e
+    | Ok p ->
+      let result =
+        match Campaign.drive p.campaign with
+        | Ok r -> Ok (estimate_of_result p r)
+        | Error e -> Error (Path.error_to_string e)
       in
-      Ok
-        {
-          probability = p;
-          ci_low = lo;
-          ci_high = hi;
-          paths = r.Engine.paths;
-          successes = r.Engine.successes;
-          deadlock_paths = r.Engine.deadlock_paths;
-          violated_paths = r.Engine.violated_paths;
-          errors = r.Engine.errors;
-          diverged_paths = r.Engine.diverged_paths;
-          dropped_paths = r.Engine.dropped_paths;
-          worker_restarts = r.Engine.worker_restarts;
-          interrupted = r.Engine.stopped = Engine.Interrupted;
-          wall_seconds = r.Engine.wall_seconds;
-          certificate = None;
-        }
-    | Error e -> Error (Path.error_to_string e))
+      (match progress with
+      | Some pr -> Slimsim_obs.Progress.finish pr
+      | None -> ());
+      result)
 
 type exact = {
   exact_probability : float;

@@ -24,6 +24,11 @@
 
 module Strategy = Slimsim_sim.Strategy
 module Generator = Slimsim_stats.Generator
+module Campaign = Slimsim_sim.Campaign
+
+val tool_version : string
+(** The tool version stamped into the lint JSON envelope, printed by
+    [slimsim version] and exchanged in the serve protocol handshake. *)
 
 type model
 
@@ -117,6 +122,53 @@ val check :
     reclassify real paths that the certificate counts as successes);
     the [Scripted] strategy disables the pre-pass, since a script may
     abort runs arbitrarily. *)
+
+(** {1 Campaigns as values}
+
+    [check] is a convenience: prepare a campaign, drive it to
+    completion, map the result.  A resident service does the same three
+    things, but drives the campaign incrementally ({!Campaign.step} /
+    {!Campaign.park}) under its own scheduler. *)
+
+type prepared = {
+  campaign : Campaign.t;
+  complement : bool;
+      (** invariance patterns are estimated via their negation; map the
+          final result through {!estimate_of_result}, which undoes
+          this *)
+  horizon : float;  (** the property's parsed time bound *)
+}
+
+val prepare :
+  ?workers:int ->
+  ?seed:int64 ->
+  ?generator:Generator.kind ->
+  ?on_deadlock:[ `Error | `Falsify ] ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  ?on_error:[ `Abort | `Unsat ] ->
+  ?supervisor:Slimsim_sim.Supervisor.t ->
+  ?progress:Slimsim_obs.Progress.t ->
+  ?max_steps:int ->
+  ?max_sim_time:float ->
+  ?max_wall_per_path:float ->
+  ?compiled:Slimsim_sta.Compiled.t ->
+  model ->
+  property:string ->
+  strategy:Strategy.t ->
+  delta:float ->
+  eps:float ->
+  unit ->
+  (prepared, string) result
+(** Parse [property] against the model and create the (unstarted)
+    campaign for it.  Parameters are those of {!check}, minus the
+    pre-pass (a service decides itself whether to run one), plus
+    [compiled]: an already-staged network (from
+    [Slimsim_sta.Compiled.compile (network m)]) so a resident process
+    can amortize staging across many campaigns over the same model. *)
+
+val estimate_of_result : prepared -> Campaign.result -> estimate
+(** Map a finished campaign's raw result to the user-facing estimate,
+    applying the pattern's complement.  [certificate] is [None]. *)
 
 val prepass :
   ?max_nodes:int ->

@@ -36,19 +36,20 @@ let bucket_upper i =
   else if i = n_buckets - 1 then "+Inf"
   else Printf.sprintf "%g" (Float.ldexp 1.0 (i - 32))
 
-type kind = Counter | Histogram
+type kind = Counter | Gauge | Histogram
 
 type series = {
   name : string;
   help : string;
   labels : (string * string) list;  (* sorted by label name *)
   kind : kind;
-  mutable count : int;       (* counter value / histogram observations *)
+  mutable count : int;       (* counter/gauge value / histogram observations *)
   mutable sum : float;       (* histogram only *)
-  buckets : int array;       (* histogram only; [||] for counters *)
+  buckets : int array;       (* histogram only; [||] for counters/gauges *)
 }
 
 type counter = series
+type gauge = series
 type histogram = series
 
 (* Registration is rare (module init, one per worker spawn) and guarded;
@@ -75,7 +76,10 @@ let find_or_create ~kind ~labels name ~help =
           kind;
           count = 0;
           sum = 0.0;
-          buckets = (match kind with Counter -> [||] | Histogram -> Array.make n_buckets 0);
+          buckets =
+            (match kind with
+            | Counter | Gauge -> [||]
+            | Histogram -> Array.make n_buckets 0);
         }
       in
       registry := s :: !registry;
@@ -85,10 +89,17 @@ let find_or_create ~kind ~labels name ~help =
   s
 
 let counter ?(labels = []) name ~help = find_or_create ~kind:Counter ~labels name ~help
+let gauge ?(labels = []) name ~help = find_or_create ~kind:Gauge ~labels name ~help
 let histogram ?(labels = []) name ~help = find_or_create ~kind:Histogram ~labels name ~help
 
 let incr c = if Atomic.get on then c.count <- c.count + 1
 let add c n = if Atomic.get on then c.count <- c.count + n
+
+(* A gauge tracks a current level, not a monotone total, so it is set
+   rather than bumped; the enabled gate matches every other entry
+   point. *)
+let set_gauge g v = if Atomic.get on then g.count <- v
+let gauge_value g = g.count
 
 let observe h v =
   if Atomic.get on then begin
@@ -161,11 +172,14 @@ let render () =
       Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name first.help);
       Buffer.add_string b
         (Printf.sprintf "# TYPE %s %s\n" name
-           (match first.kind with Counter -> "counter" | Histogram -> "histogram"));
+           (match first.kind with
+           | Counter -> "counter"
+           | Gauge -> "gauge"
+           | Histogram -> "histogram"));
       List.iter
         (fun s ->
           match s.kind with
-          | Counter ->
+          | Counter | Gauge ->
             Buffer.add_string b
               (Printf.sprintf "%s%s %d\n" name (label_string s.labels) s.count)
           | Histogram ->

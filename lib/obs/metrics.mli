@@ -15,6 +15,7 @@
     performs no RNG draws and never touches simulation state. *)
 
 type counter
+type gauge
 type histogram
 
 val set_enabled : bool -> unit
@@ -29,6 +30,13 @@ val counter : ?labels:(string * string) list -> string -> help:string -> counter
 
 val incr : counter -> unit
 val add : counter -> int -> unit
+
+val gauge : ?labels:(string * string) list -> string -> help:string -> gauge
+(** A current-level series (campaigns running, cache entries, queue
+    depth): set rather than accumulated, exposed with [# TYPE gauge]. *)
+
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
 
 val histogram : ?labels:(string * string) list -> string -> help:string -> histogram
 (** Log2-bucketed: bucket 0 holds observations [<= 0], then one bucket

@@ -1,0 +1,96 @@
+(* LRU over the semantic network hash, with a source-digest memo so a
+   byte-identical resubmission skips the loader as well.  The service is
+   single-threaded, so no locking; sizes are a handful of entries and
+   lookups a handful per request, so plain lists carry the recency
+   order. *)
+
+type entry = {
+  model : Slimsim.model;
+  compiled : Slimsim_sta.Compiled.t;
+  hash : string;
+}
+
+type t = {
+  capacity : int;
+  by_hash : (string, entry) Hashtbl.t;
+  by_digest : (string, string) Hashtbl.t;  (* source digest -> network hash *)
+  mutable recency : string list;  (* network hashes, most recent first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    capacity;
+    by_hash = Hashtbl.create 16;
+    by_digest = Hashtbl.create 16;
+    recency = [];
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t hash =
+  t.recency <- hash :: List.filter (fun h -> h <> hash) t.recency
+
+let evict_lru t =
+  match List.rev t.recency with
+  | [] -> ()
+  | lru :: _ ->
+    Hashtbl.remove t.by_hash lru;
+    Hashtbl.filter_map_inplace
+      (fun _ h -> if h = lru then None else Some h)
+      t.by_digest;
+    t.recency <- List.filter (fun h -> h <> lru) t.recency;
+    t.evictions <- t.evictions + 1
+
+let insert t ~digest entry =
+  if not (Hashtbl.mem t.by_hash entry.hash) then begin
+    if Hashtbl.length t.by_hash >= t.capacity then evict_lru t;
+    Hashtbl.replace t.by_hash entry.hash entry
+  end;
+  Hashtbl.replace t.by_digest digest entry.hash;
+  touch t entry.hash
+
+let find_hash t hash =
+  match Hashtbl.find_opt t.by_hash hash with
+  | Some e ->
+    touch t hash;
+    t.hits <- t.hits + 1;
+    Some e
+  | None -> None
+
+let load t ~source =
+  let digest = Digest.to_hex (Digest.string source) in
+  match Hashtbl.find_opt t.by_digest digest with
+  | Some hash when Hashtbl.mem t.by_hash hash ->
+    let e = Hashtbl.find t.by_hash hash in
+    touch t hash;
+    t.hits <- t.hits + 1;
+    Ok (e, `Hit)
+  | _ -> (
+    match Slimsim.load_string source with
+    | Error e -> Error e
+    | Ok model -> (
+      let hash = Slimsim_analyze.Lint.network_hash (Slimsim.network model) in
+      match Hashtbl.find_opt t.by_hash hash with
+      | Some e ->
+        (* different text, same network: the staged stepper is reusable,
+           only the load re-ran *)
+        Hashtbl.replace t.by_digest digest hash;
+        touch t hash;
+        t.hits <- t.hits + 1;
+        Ok (e, `Hit)
+      | None ->
+        let compiled = Slimsim_sta.Compiled.compile (Slimsim.network model) in
+        let e = { model; compiled; hash } in
+        insert t ~digest e;
+        t.misses <- t.misses + 1;
+        Ok (e, `Miss)))
+
+let length t = Hashtbl.length t.by_hash
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

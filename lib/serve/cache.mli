@@ -1,0 +1,38 @@
+(** LRU cache of compiled STA networks for the resident service.
+
+    The expensive front half of a campaign — parse, elaborate, translate
+    to the automata network, stage the compiled stepper — runs once per
+    distinct model; repeat submissions reuse the staged network.  Identity
+    is the semantic {!Slimsim_analyze.Lint.network_hash} of the translated
+    network; a source-digest memo in front of it lets a repeat submission
+    of the same text skip even the load.  Eviction is least-recently-used
+    over that semantic identity, so two sources that translate to the same
+    network share one slot. *)
+
+type entry = {
+  model : Slimsim.model;
+  compiled : Slimsim_sta.Compiled.t;
+  hash : string;  (** the network hash — the cache key and wire name *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] is the number of resident networks; [invalid_arg] if
+    [<= 0]. *)
+
+val load : t -> source:string -> (entry * [ `Hit | `Miss ], string) result
+(** Look up by source digest, then by the network hash of the freshly
+    loaded model; compile and insert on a full miss.  [`Hit] means no
+    staging ran (a source-digest hit runs nothing at all; a same-network
+    hit under different text reuses the staged network and only re-runs
+    the load). *)
+
+val find_hash : t -> string -> entry option
+(** Look up by network hash alone (the [model_hash] submission form);
+    bumps recency on hit. *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

@@ -1,0 +1,55 @@
+(** The serve wire protocol: one JSON object per line, request in,
+    response out, over a byte stream (Unix-domain socket in the CLI).
+
+    Requests carry an ["op"] discriminator; responses always carry
+    ["ok"] (and ["error"] when [false]).  The full schema lives in
+    docs/SERVICE.md.  Values are {!Slimsim_obs.Json} — the protocol has
+    no dependencies beyond the tree's own JSON. *)
+
+type submit = {
+  tenant : string;  (** admission-control identity; ["default"] *)
+  model_source : string option;  (** inline SLIM text *)
+  model_file : string option;  (** server-side path, read at submit *)
+  model_hash : string option;
+      (** reference a network already resident in the cache by its
+          network hash — no model payload at all *)
+  property : string;
+  strategy : Slimsim_sim.Strategy.t;
+  delta : float;
+  eps : float;
+  seed : int64;
+  generator : Slimsim_stats.Generator.kind;
+  workers : int;
+  max_steps : int option;
+  max_sim_time : float option;
+  max_wall_per_path : float option;
+  on_divergence : [ `Abort | `Unsat | `Drop ];
+}
+
+type request =
+  | Hello
+  | Submit of submit
+  | Status of string
+  | Wait of string  (** defer the response until the campaign finishes *)
+  | Cancel of string
+  | Stats
+  | Metrics  (** Prometheus exposition, as a JSON string field *)
+  | Shutdown
+
+val request_of_line : string -> (request, string) result
+
+val submit_defaults : submit
+(** [tenant = "default"], no model, empty property, ASAP, delta 0.05,
+    eps 0.01, seed 1, Chernoff, 1 worker, no watchdogs, abort on
+    divergence. *)
+
+val submit_to_json : submit -> Slimsim_obs.Json.t
+(** The client-side encoder; [request_of_line] parses its output back. *)
+
+val ok_line : (string * Slimsim_obs.Json.t) list -> string
+(** [{"ok":true, ...fields}] rendered on one line. *)
+
+val error_line : string -> string
+(** [{"ok":false,"error":msg}] rendered on one line. *)
+
+val protocol_version : int

@@ -1,0 +1,50 @@
+(* Deficit-style fair share over tenants.  Tenant count is small (it is
+   an admission-control identity, not a per-request one), so an assoc
+   list in first-appearance order keeps tie-breaking deterministic and
+   the code free of ordering surprises. *)
+
+type 'a tenant_state = { queue : 'a Queue.t; mutable used : int }
+
+type 'a t = { mutable tenants : (string * 'a tenant_state) list }
+
+let create () = { tenants = [] }
+
+let state t tenant =
+  match List.assoc_opt tenant t.tenants with
+  | Some s -> s
+  | None ->
+    let s = { queue = Queue.create (); used = 0 } in
+    t.tenants <- t.tenants @ [ (tenant, s) ];
+    s
+
+let push t ~tenant x = Queue.push x (state t tenant).queue
+
+let take t =
+  let best =
+    List.fold_left
+      (fun acc (name, s) ->
+        if Queue.is_empty s.queue then acc
+        else
+          match acc with
+          | Some (_, s') when s'.used <= s.used -> acc
+          | _ -> Some (name, s))
+      None t.tenants
+  in
+  match best with
+  | None -> None
+  | Some (name, s) -> Some (name, Queue.pop s.queue)
+
+let charge t ~tenant n = (state t tenant).used <- (state t tenant).used + n
+let charged t ~tenant = match List.assoc_opt tenant t.tenants with Some s -> s.used | None -> 0
+
+let pending t =
+  List.fold_left (fun acc (_, s) -> acc + Queue.length s.queue) 0 t.tenants
+
+let remove t pred =
+  List.iter
+    (fun (_, s) ->
+      let keep = Queue.create () in
+      Queue.iter (fun x -> if not (pred x) then Queue.push x keep) s.queue;
+      Queue.clear s.queue;
+      Queue.transfer keep s.queue)
+    t.tenants

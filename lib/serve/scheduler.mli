@@ -1,0 +1,33 @@
+(** Fair-share scheduling of runnable campaigns across tenants.
+
+    Each tenant owns a FIFO of runnable items and an accumulated charge
+    (paths simulated so far).  {!take} always pops from the non-empty
+    tenant with the {e least} charge, so a tenant with one campaign and a
+    tenant with twenty each get half the domain pool's throughput —
+    fairness is per tenant, not per campaign.  Ties break by round-robin
+    order of first appearance.  The service charges a tenant after every
+    slice with the paths that slice consumed and pushes the campaign back
+    if it still needs more. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> tenant:string -> 'a -> unit
+(** Append to the tenant's FIFO (registering the tenant on first use). *)
+
+val take : 'a t -> (string * 'a) option
+(** Pop the head item of the least-charged tenant that has one;
+    [None] when every queue is empty. *)
+
+val charge : 'a t -> tenant:string -> int -> unit
+(** Record consumed work against a tenant.  Charges persist while the
+    tenant's queue is empty, so a tenant cannot reset its share by
+    draining and resubmitting. *)
+
+val charged : 'a t -> tenant:string -> int
+val pending : 'a t -> int
+(** Total queued items across all tenants. *)
+
+val remove : 'a t -> ('a -> bool) -> unit
+(** Drop every queued item matching the predicate (cancellation). *)

@@ -1,0 +1,110 @@
+(** A statistical reachability campaign as a first-class, resumable
+    value.
+
+    A campaign is created from [(network, goal, strategy, generator,
+    supervisor config)] and then {e driven}: each {!step} consumes up to
+    a quota of samples in deterministic path order and returns control
+    to the caller, so a scheduler can time-slice many campaigns over one
+    process.  {!park} halts any worker domains (their unconsumed
+    buffered samples are discarded) and leaves the campaign as plain
+    data — the same [(seed, path cursor, estimator counters, tallies)]
+    tuple the atomic {!Supervisor.Checkpoint} persists; the next {!step}
+    respawns workers at the cursor and, because path [i] always draws
+    from an RNG derived from [(seed, i)] alone, regenerates any
+    discarded sample bit-identically.  A campaign stepped, parked and
+    resumed at arbitrary points therefore produces the same verdict
+    stream, the same estimate and the same checkpoints as one driven to
+    completion in a single call — the property the one-shot
+    {!Engine.run} wrapper and the campaign service both build on. *)
+
+open Slimsim_sta
+
+type stop_reason =
+  | Converged  (** the statistical stopping rule was satisfied *)
+  | Interrupted
+      (** the supervisor's stop flag was raised; the estimate is partial
+          and the interval reflects the achieved, not the requested,
+          confidence *)
+
+type result = {
+  probability : float;
+  ci_low : float;
+  ci_high : float;
+  paths : int;
+  successes : int;
+  deadlock_paths : int;
+  violated_paths : int;
+  errors : int;
+  diverged_paths : int;
+  dropped_paths : int;
+  worker_restarts : int;
+  stopped : stop_reason;
+  wall_seconds : float;
+      (** wall-clock time spent actively stepping (parked time is not
+          billed) *)
+}
+
+type t
+
+type status =
+  | Running  (** the quota ran out before the stopping rule fired *)
+  | Done of result
+  | Failed of Path.error
+
+val create :
+  ?workers:int ->
+  ?seed:int64 ->
+  ?config:Path.config ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  ?on_error:[ `Abort | `Unsat ] ->
+  ?hold:Expr.t ->
+  ?supervisor:Supervisor.t ->
+  ?progress:Slimsim_obs.Progress.t ->
+  ?compiled:Compiled.t ->
+  Network.t ->
+  goal:Expr.t ->
+  horizon:float ->
+  strategy:Strategy.t ->
+  generator:Slimsim_stats.Generator.t ->
+  unit ->
+  (t, Path.error) Result.t
+(** Same parameters and semantics as {!Engine.run} (which is now a
+    [create]-then-{!drive}), with one addition: [compiled] supplies an
+    already-staged network so a resident service can amortize
+    compilation across campaigns (it must be [Compiled.compile] of
+    [net]; ignored by the interpreted engine).  Scripted strategies
+    downgrade to the interpreter on one worker, with a warning when
+    more were requested.  [Error] is returned when [supervisor.resume]
+    is set and the checkpoint file is unreadable or incompatible. *)
+
+val step : ?quota:int -> t -> status
+(** Consume up to [quota] samples (default: run until the stopping rule
+    or stop flag fires), spawning worker domains on demand.  [Running]
+    means the quota ran out; workers are left running ahead into their
+    bounded buffers, so an immediate next [step] pays no respawn —
+    call {!park} to quiesce instead.  Once [Done] or [Failed], further
+    calls return the same status without simulating. *)
+
+val park : t -> unit
+(** Halt worker domains (discarding their buffered, unconsumed samples)
+    and write a checkpoint when the supervisor configures one.  A parked
+    campaign holds no threads and no scratch state; the next {!step}
+    resumes it bit-identically.  No-op on finished campaigns. *)
+
+val drive : t -> (result, Path.error) Result.t
+(** Step to completion: the one-shot behaviour of the historical
+    engine.  An [Interrupted] stop reason is an [Ok] result. *)
+
+val status : t -> status
+(** Last known status; never simulates. *)
+
+val consumed : t -> int
+(** Paths consumed so far (the cursor the next sample is drawn at). *)
+
+val snapshot : t -> float * float * float * int
+(** [(mean, ci_low, ci_high, trials)] of the running estimate — safe to
+    call between steps (the collector is not running). *)
+
+val generator_kind : t -> Slimsim_stats.Generator.kind
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,14 +1,14 @@
-module Rng = Slimsim_stats.Rng
-module Generator = Slimsim_stats.Generator
-module Estimator = Slimsim_stats.Estimator
-module Metrics = Slimsim_obs.Metrics
-module Log = Slimsim_obs.Log
-module Json = Slimsim_obs.Json
+(* The historical one-shot engine, now a thin veneer: create a
+   {!Campaign} and drive it to completion.  All of the machinery —
+   per-path RNG derivation, buffered round-robin collection, crash
+   recovery, checkpointing, divergence policies — lives in
+   [Campaign]; this module only preserves the original call shape. *)
+
 module Progress = Slimsim_obs.Progress
 
-type stop_reason = Converged | Interrupted
+type stop_reason = Campaign.stop_reason = Converged | Interrupted
 
-type result = {
+type result = Campaign.result = {
   probability : float;
   ci_low : float;
   ci_high : float;
@@ -24,665 +24,25 @@ type result = {
   wall_seconds : float;
 }
 
-type tally = {
-  mutable deadlocks : int;
-  mutable violated : int;
-  mutable errors : int;
-  mutable diverged : int;
-  mutable dropped : int;
-  mutable restarts : int;
-  mutable consec_dropped : int;
-}
-
-let new_tally () =
-  { deadlocks = 0; violated = 0; errors = 0; diverged = 0; dropped = 0;
-    restarts = 0; consec_dropped = 0 }
-
-(* Under [`Drop] a campaign whose paths (almost) all diverge would spin
-   forever: nothing is ever fed, so the stopping rule keeps asking.
-   This many dropped samples in a row abort instead. *)
-let drop_stall_limit = 10_000
-
-(* Collector-side metric cells, created once per run when metrics are
-   enabled and touched only by the collecting thread (the run_sequential
-   loop, or the parallel collector) — single-writer like the per-worker
-   path cells. *)
-type run_obs = {
-  v_sat : Metrics.counter;
-  v_unsat_horizon : Metrics.counter;
-  v_deadlock : Metrics.counter;
-  v_timelock : Metrics.counter;
-  v_violated : Metrics.counter;
-  v_diverged : Metrics.counter;
-  v_error : Metrics.counter;
-  o_dropped : Metrics.counter;
-  o_restarts : Metrics.counter;
-  o_checkpoints : Metrics.counter;
-  o_checkpoint_seconds : Metrics.histogram;
-  o_buffer : Metrics.histogram;
-}
-
-let make_run_obs () =
-  if not (Metrics.enabled ()) then None
-  else
-    let vhelp = "Consumed samples by verdict" in
-    let v kind =
-      Metrics.counter ~labels:[ ("verdict", kind) ] "slimsim_verdicts_total"
-        ~help:vhelp
-    in
-    Some
-      {
-        v_sat = v "sat";
-        v_unsat_horizon = v "unsat_horizon";
-        v_deadlock = v "unsat_deadlock";
-        v_timelock = v "unsat_timelock";
-        v_violated = v "unsat_violated";
-        v_diverged = v "diverged";
-        v_error = v "error";
-        o_dropped =
-          Metrics.counter "slimsim_dropped_paths_total"
-            ~help:"Diverged paths discarded under the `drop' policy";
-        o_restarts =
-          Metrics.counter "slimsim_worker_restarts_total"
-            ~help:"Crashed workers brought back up";
-        o_checkpoints =
-          Metrics.counter "slimsim_checkpoints_total"
-            ~help:"Checkpoint files written";
-        o_checkpoint_seconds =
-          Metrics.histogram "slimsim_checkpoint_seconds"
-            ~help:"Wall-clock seconds per checkpoint write";
-        o_buffer =
-          Metrics.histogram "slimsim_buffer_occupancy"
-            ~help:
-              "Samples queued in the popped worker buffer when the collector \
-               takes one";
-      }
-
-let robs_incr robs field =
-  match robs with Some r -> Metrics.incr (field r) | None -> ()
-
-(* Route one sample through the error and divergence policies.  An
-   errored or diverged path under the [`Unsat] policy is fed as a
-   failure (conservative for reachability estimates: it can only lower
-   the estimated probability); [`Drop] discards the sample without
-   feeding it, so the stopping rule keeps asking for more — the
-   re-planning is implicit in [Generator.needs_more] seeing fewer
-   trials. *)
-let consume ?robs ~on_error ~on_divergence ~path gen tally = function
-  | Ok (Path.Diverged d) -> (
-    tally.diverged <- tally.diverged + 1;
-    robs_incr robs (fun r -> r.v_diverged);
-    Log.emit ~event:"divergence"
-      [
-        ("path", Json.Int path);
-        ("kind", Json.String (Path.divergence_to_string d));
-        ("policy", Json.String (Supervisor.divergence_policy_to_string on_divergence));
-      ];
-    match on_divergence with
-    | `Abort -> `Abort (Path.Diverged_path d)
-    | `Unsat ->
-      tally.consec_dropped <- 0;
-      Generator.feed gen false;
-      `Fed
-    | `Drop ->
-      tally.dropped <- tally.dropped + 1;
-      tally.consec_dropped <- tally.consec_dropped + 1;
-      robs_incr robs (fun r -> r.o_dropped);
-      if tally.consec_dropped >= drop_stall_limit then
-        `Abort
-          (Path.Model_error
-             (Printf.sprintf
-                "divergence policy `drop': %d consecutive paths diverged; \
-                 the estimate conditioned on non-divergence cannot converge \
-                 (raise the watchdog budgets or use --on-divergence unsat)"
-                tally.consec_dropped))
-      else `Dropped)
-  | Ok v ->
-    tally.consec_dropped <- 0;
-    (match v with
-    | Path.Unsat_deadlock | Path.Unsat_timelock ->
-      tally.deadlocks <- tally.deadlocks + 1
-    | Path.Unsat_violated _ -> tally.violated <- tally.violated + 1
-    | Path.Sat _ | Path.Unsat_horizon | Path.Diverged _ -> ());
-    (match robs with
-    | Some r ->
-      Metrics.incr
-        (match v with
-        | Path.Sat _ -> r.v_sat
-        | Path.Unsat_horizon -> r.v_unsat_horizon
-        | Path.Unsat_deadlock -> r.v_deadlock
-        | Path.Unsat_timelock -> r.v_timelock
-        | Path.Unsat_violated _ -> r.v_violated
-        | Path.Diverged _ -> r.v_diverged)
-    | None -> ());
-    Generator.feed gen (match v with Path.Sat _ -> true | _ -> false);
-    `Fed
-  | Error e -> (
-    robs_incr robs (fun r -> r.v_error);
-    Log.emit ~event:"path_error"
-      [
-        ("path", Json.Int path);
-        ("error", Json.String (Path.error_to_string e));
-        ( "policy",
-          Json.String (match on_error with `Abort -> "abort" | `Unsat -> "unsat")
-        );
-      ];
-    match on_error with
-    | `Abort -> `Abort e
-    | `Unsat ->
-      tally.consec_dropped <- 0;
-      tally.errors <- tally.errors + 1;
-      Generator.feed gen false;
-      `Fed)
-
-let finish gen tally ~stopped wall =
-  let est = Generator.estimator gen in
-  let lo, hi = Estimator.confidence_interval est ~delta:(Generator.delta gen) in
-  let r =
-    {
-      probability = Estimator.mean est;
-      ci_low = lo;
-      ci_high = hi;
-      paths = Estimator.trials est;
-      successes = Estimator.successes est;
-      deadlock_paths = tally.deadlocks;
-      violated_paths = tally.violated;
-      errors = tally.errors;
-      diverged_paths = tally.diverged;
-      dropped_paths = tally.dropped;
-      worker_restarts = tally.restarts;
-      stopped;
-      wall_seconds = wall;
-    }
-  in
-  Log.emit ~event:"campaign_end"
-    [
-      ( "stopped",
-        Json.String
-          (match stopped with
-          | Converged -> "converged"
-          | Interrupted -> "interrupted") );
-      ("probability", Json.Float r.probability);
-      ("ci_low", Json.Float r.ci_low);
-      ("ci_high", Json.Float r.ci_high);
-      ("paths", Json.Int r.paths);
-      ("successes", Json.Int r.successes);
-      ("deadlock_paths", Json.Int r.deadlock_paths);
-      ("violated_paths", Json.Int r.violated_paths);
-      ("errors", Json.Int r.errors);
-      ("diverged_paths", Json.Int r.diverged_paths);
-      ("dropped_paths", Json.Int r.dropped_paths);
-      ("worker_restarts", Json.Int r.worker_restarts);
-      ("wall_seconds", Json.Float r.wall_seconds);
-    ];
-  r
-
-(* ------------------------------------------------------------------ *)
-(* Checkpointing glue: the campaign state is (seed, path cursor,
-   estimator counters, tallies) — see Supervisor.Checkpoint. *)
-
-let checkpoint_state gen tally ~seed ~next_path =
-  let est = Generator.estimator gen in
-  {
-    Supervisor.Checkpoint.seed;
-    kind = Generator.kind gen;
-    delta = Generator.delta gen;
-    eps = Generator.eps gen;
-    next_path;
-    trials = Estimator.trials est;
-    successes = Estimator.successes est;
-    deadlocks = tally.deadlocks;
-    violated = tally.violated;
-    errors = tally.errors;
-    diverged = tally.diverged;
-    dropped = tally.dropped;
-  }
-
-(* One checkpoint write, observed: the save is counted and timed, the
-   metric registry is re-exported next to it (so a crashed campaign
-   leaves current metrics behind along with its progress), and a
-   "checkpoint" event is logged.  All of that is skipped — leaving the
-   bare historical save — when observability is off. *)
-let write_checkpoint ?robs sup ~file st =
-  let observed = robs <> None || Log.active () in
-  if not observed then Supervisor.Checkpoint.save ~file st
-  else begin
-    let t0 = Unix.gettimeofday () in
-    Supervisor.Checkpoint.save ~file st;
-    (match sup.Supervisor.metrics_file with
-    | Some mf when Metrics.enabled () -> Metrics.write_file mf
-    | _ -> ());
-    let dt = Unix.gettimeofday () -. t0 in
-    (match robs with
-    | Some r ->
-      Metrics.incr r.o_checkpoints;
-      Metrics.observe r.o_checkpoint_seconds dt
-    | None -> ());
-    Log.emit ~event:"checkpoint"
-      [
-        ("file", Json.String file);
-        ("next_path", Json.Int st.Supervisor.Checkpoint.next_path);
-        ("seconds", Json.Float dt);
-      ]
-  end
-
-let save_checkpoint ?robs sup gen tally ~seed ~next_path =
-  match sup.Supervisor.checkpoint with
-  | Some { Supervisor.file; _ } ->
-    write_checkpoint ?robs sup ~file (checkpoint_state gen tally ~seed ~next_path)
-  | None -> ()
-
-let maybe_checkpoint ?robs sup gen tally ~seed ~next_path =
-  match sup.Supervisor.checkpoint with
-  | Some { Supervisor.file; every } when next_path mod every = 0 ->
-    write_checkpoint ?robs sup ~file (checkpoint_state gen tally ~seed ~next_path)
-  | _ -> ()
-
-let resume_base sup gen tally ~seed =
-  if not sup.Supervisor.resume then Ok 0
-  else
-    match sup.Supervisor.checkpoint with
-    | None ->
-      Error (Path.Model_error "resume requested without a checkpoint file")
-    | Some { Supervisor.file; _ } ->
-      if not (Sys.file_exists file) then Ok 0 (* fresh start, not an error *)
-      else (
-        match Supervisor.Checkpoint.load ~file with
-        | Error msg -> Error (Path.Model_error ("cannot resume: " ^ msg))
-        | Ok st ->
-          if st.Supervisor.Checkpoint.seed <> seed then
-            Error
-              (Path.Model_error
-                 (Printf.sprintf
-                    "cannot resume: checkpoint was taken with seed %Ld, not %Ld"
-                    st.Supervisor.Checkpoint.seed seed))
-          else if st.kind <> Generator.kind gen then
-            Error
-              (Path.Model_error
-                 "cannot resume: checkpoint was taken with a different \
-                  statistical generator")
-          else if st.delta <> Generator.delta gen || st.eps <> Generator.eps gen
-          then
-            Error
-              (Path.Model_error
-                 "cannot resume: checkpoint was taken with different delta/eps")
-          else begin
-            Generator.restore gen ~trials:st.trials ~successes:st.successes;
-            tally.deadlocks <- st.deadlocks;
-            tally.violated <- st.violated;
-            tally.errors <- st.errors;
-            tally.diverged <- st.diverged;
-            tally.dropped <- st.dropped;
-            Ok st.next_path
-          end)
-
-(* A runner factory: called once per worker (inside that worker's
-   domain, so per-worker scratch is domain-local), yielding the
-   path-id -> outcome function.  The compiled factory stages the
-   network once and shares the immutable tables across workers.
-   Crash recovery leans on this shape twice over: a replacement runner
-   is a fresh factory call, and path [id] always draws from an RNG
-   derived from [(seed, id)] alone, so any path a dying worker lost is
-   regenerated bit-identically by its successor. *)
-(* Per-worker observability: the path generator's cell plus a
-   path-duration histogram, both labeled [worker="<w>"] and created in
-   the worker's own domain (the factory runs there), so every series has
-   a single writer.  [None] when metrics are off — the runner then calls
-   the generator directly, with no clock reads. *)
-let worker_obs ~worker =
-  if not (Metrics.enabled ()) then (None, None)
-  else
-    ( Some (Path.obs_cell ~worker),
-      Some
-        (Metrics.histogram
-           ~labels:[ ("worker", string_of_int worker) ]
-           "slimsim_worker_path_seconds"
-           ~help:"Wall-clock seconds spent generating each path, per worker") )
-
-let timed secs f = match secs with None -> f () | Some h -> Metrics.time h f
-
-let make_runner ~engine ~seed ~hold cfg net ~goal ~strategy =
-  match engine with
-  | `Interpreted ->
-    fun ~worker () ->
-      let obs, secs = worker_obs ~worker in
-      fun id ->
-        let rng = Rng.for_path ~seed ~path:id in
-        timed secs (fun () -> fst (Path.generate ~hold ?obs net cfg strategy rng ~goal))
-  | `Compiled ->
-    let c = Slimsim_sta.Compiled.compile net in
-    let q = Path.compile_query ~hold c ~goal in
-    fun ~worker () ->
-      let obs, secs = worker_obs ~worker in
-      let s = Slimsim_sta.Compiled.scratch c in
-      fun id ->
-        let rng = Rng.for_path ~seed ~path:id in
-        timed secs (fun () -> Path.generate_compiled ?obs c s q cfg strategy rng)
-
-(* The heartbeat is ticked once per consumed sample; the (mean,
-   half-width) closure is only evaluated when a line actually prints. *)
-let progress_tick progress generator =
-  match progress with
-  | None -> ()
-  | Some p ->
-    let est = Generator.estimator generator in
-    Progress.tick p ~paths:(Estimator.trials est) (fun () ->
-        let lo, hi =
-          Estimator.confidence_interval est ~delta:(Generator.delta generator)
-        in
-        (Estimator.mean est, (hi -. lo) /. 2.0))
-
-let run_sequential ~sup ~on_error ~seed ~generator ~progress make_runner =
-  let tally = new_tally () in
-  let t0 = Unix.gettimeofday () in
-  match resume_base sup generator tally ~seed with
-  | Error e -> Error e
-  | Ok base ->
-    let robs = make_run_obs () in
-    let on_divergence = sup.Supervisor.on_divergence in
-    let runner = ref (make_runner ~worker:0 ()) in
-    let finish_with stopped next_path =
-      save_checkpoint ?robs sup generator tally ~seed ~next_path;
-      Ok (finish generator tally ~stopped (Unix.gettimeofday () -. t0))
-    in
-    (* A runner exception is a "worker crash" even in-process: rebuild
-       the runner (fresh scratch state) and replay the same path id —
-       deterministic regeneration makes the retry invisible in the
-       verdict stream. *)
-    let rec attempt tries i =
-      match
-        (match sup.Supervisor.chaos with
-        | Some inject -> inject ~worker:0 ~path:i
-        | None -> ());
-        !runner i
-      with
-      | outcome -> Ok outcome
-      | exception exn ->
-        if tries >= sup.Supervisor.max_restarts then
-          Error (Path.Worker_crash (Printexc.to_string exn))
-        else begin
-          tally.restarts <- tally.restarts + 1;
-          robs_incr robs (fun r -> r.o_restarts);
-          Log.emit ~event:"worker_restart"
-            [
-              ("worker", Json.Int 0);
-              ("path", Json.Int i);
-              ("error", Json.String (Printexc.to_string exn));
-              ("attempt", Json.Int (tries + 1));
-            ];
-          Unix.sleepf (Supervisor.backoff_delay sup ~attempt:tries);
-          runner := make_runner ~worker:0 ();
-          attempt (tries + 1) i
-        end
-    in
-    let rec go i =
-      if Supervisor.stop_requested sup then finish_with Interrupted i
-      else if not (Generator.needs_more generator) then finish_with Converged i
-      else
-        match attempt 0 i with
-        | Error e -> Error e
-        | Ok sample -> (
-          match
-            consume ?robs ~on_error ~on_divergence ~path:i generator tally sample
-          with
-          | `Abort e -> Error e
-          | `Fed | `Dropped ->
-            maybe_checkpoint ?robs sup generator tally ~seed ~next_path:(i + 1);
-            progress_tick progress generator;
-            go (i + 1))
-    in
-    go base
-
-(* Parallel engine (§III-C).  Worker [w] simulates paths base+w,
-   base+w+k, … into its own buffer; the collector consumes buffers in
-   cyclic worker order, i.e. in path order base, base+1, base+2, …
-   This implements the buffered balanced collection of [22] — the
-   sample stream seen by the (possibly sequential) statistical
-   generator is a deterministic function of the seed, independent of
-   scheduling and of [k].
-
-   Each worker owns a bounded buffer with its own mutex and a condition
-   per direction, so a push or pop wakes exactly the one party waiting
-   on that buffer instead of broadcasting to the whole fleet. *)
-
-type slot = Sample of (Path.verdict, Path.error) Result.t | Crashed of string
-
-type buffer = {
-  mutex : Mutex.t;
-  not_empty : Condition.t;
-  not_full : Condition.t;
-  q : slot Queue.t;
-}
-
-let max_buffer = 256
-
-let run_parallel ~workers:k ~sup ~on_error ~seed ~generator ~progress make_runner
-    =
-  let t0 = Unix.gettimeofday () in
-  let tally = new_tally () in
-  match resume_base sup generator tally ~seed with
-  | Error e -> Error e
-  | Ok base ->
-    let robs = make_run_obs () in
-    let on_divergence = sup.Supervisor.on_divergence in
-    let stop = Atomic.make false in
-    let buffers =
-      Array.init k (fun _ ->
-          {
-            mutex = Mutex.create ();
-            not_empty = Condition.create ();
-            not_full = Condition.create ();
-            q = Queue.create ();
-          })
-    in
-    let push_sample b slot =
-      Mutex.lock b.mutex;
-      while Queue.length b.q >= max_buffer && not (Atomic.get stop) do
-        Condition.wait b.not_full b.mutex
-      done;
-      if not (Atomic.get stop) then begin
-        Queue.push slot b.q;
-        Condition.signal b.not_empty
-      end;
-      Mutex.unlock b.mutex
-    in
-    (* A crashing worker's dying word skips the capacity bound: the
-       collector must see the [Crashed] marker even if the buffer is
-       full, and the worker is about to die so it cannot wait. *)
-    let push_dying b slot =
-      Mutex.lock b.mutex;
-      Queue.push slot b.q;
-      Condition.signal b.not_empty;
-      Mutex.unlock b.mutex
-    in
-    (* Worker [w] pushes exactly one slot per path, in path order, so
-       slot positions and path ids stay aligned; an exception escaping
-       the runner surfaces as a terminal [Crashed] slot sitting exactly
-       where the lost path's sample would have been. *)
-    let worker w start () =
-      match
-        Log.emit ~event:"worker_start"
-          [ ("worker", Json.Int w); ("first_path", Json.Int start) ];
-        let runner = make_runner ~worker:w () in
-        let rec go id =
-          if Atomic.get stop then ()
-          else begin
-            (match sup.Supervisor.chaos with
-            | Some inject -> inject ~worker:w ~path:id
-            | None -> ());
-            let outcome = runner id in
-            push_sample buffers.(w) (Sample outcome);
-            go (id + k)
-          end
-        in
-        go start
-      with
-      | () -> ()
-      | exception exn -> push_dying buffers.(w) (Crashed (Printexc.to_string exn))
-    in
-    (* The collector owns the occupancy histogram: observed under the
-       buffer lock just before each pop, it records how far ahead the
-       popped worker was running. *)
-    let observe_occupancy q =
-      match robs with
-      | Some r -> Metrics.observe r.o_buffer (float_of_int (Queue.length q))
-      | None -> ()
-    in
-    let domains = Array.make k None in
-    let spawn w start = domains.(w) <- Some (Domain.spawn (worker w start)) in
-    let join w =
-      match domains.(w) with
-      | Some d ->
-        Domain.join d;
-        domains.(w) <- None
-      | None -> ()
-    in
-    for w = 0 to k - 1 do
-      spawn w (base + w)
-    done;
-    let halt () =
-      Atomic.set stop true;
-      Array.iter
-        (fun b ->
-          Mutex.lock b.mutex;
-          Condition.broadcast b.not_full;
-          Condition.broadcast b.not_empty;
-          Mutex.unlock b.mutex)
-        buffers;
-      for w = 0 to k - 1 do
-        join w
-      done
-    in
-    let pop b =
-      Mutex.lock b.mutex;
-      while Queue.is_empty b.q do
-        Condition.wait b.not_empty b.mutex
-      done;
-      observe_occupancy b.q;
-      let slot = Queue.pop b.q in
-      Condition.signal b.not_full;
-      Mutex.unlock b.mutex;
-      slot
-    in
-    let restarts = Array.make k 0 in
-    let consumed = ref 0 in
-    let finish_with stopped =
-      halt ();
-      save_checkpoint ?robs sup generator tally ~seed ~next_path:(base + !consumed);
-      Ok (finish generator tally ~stopped (Unix.gettimeofday () -. t0))
-    in
-    let fail e =
-      halt ();
-      Error e
-    in
-    let rec collect () =
-      if Supervisor.stop_requested sup then finish_with Interrupted
-      else if not (Generator.needs_more generator) then finish_with Converged
-      else begin
-        let w = !consumed mod k in
-        match pop buffers.(w) with
-        | Crashed msg ->
-          (* The worker already died; join reclaims the domain.  Its
-             replacement restarts at the exact path the collector is
-             waiting for — everything earlier was already buffered in
-             order, everything later is regenerated from per-path
-             seeds, so the verdict stream is bit-identical to a
-             crash-free run. *)
-          join w;
-          Log.emit ~event:"worker_crash"
-            [
-              ("worker", Json.Int w);
-              ("path", Json.Int (base + !consumed));
-              ("error", Json.String msg);
-            ];
-          if restarts.(w) >= sup.Supervisor.max_restarts then
-            fail (Path.Worker_crash (Printf.sprintf "worker %d: %s" w msg))
-          else begin
-            let attempt = restarts.(w) in
-            restarts.(w) <- restarts.(w) + 1;
-            tally.restarts <- tally.restarts + 1;
-            robs_incr robs (fun r -> r.o_restarts);
-            Log.emit ~event:"worker_restart"
-              [
-                ("worker", Json.Int w);
-                ("path", Json.Int (base + !consumed));
-                ("attempt", Json.Int (attempt + 1));
-              ];
-            Unix.sleepf (Supervisor.backoff_delay sup ~attempt);
-            spawn w (base + !consumed);
-            collect ()
-          end
-        | Sample sample -> (
-          let path = base + !consumed in
-          incr consumed;
-          match
-            consume ?robs ~on_error ~on_divergence ~path generator tally sample
-          with
-          | `Abort e -> fail e
-          | `Fed | `Dropped ->
-            maybe_checkpoint ?robs sup generator tally ~seed
-              ~next_path:(base + !consumed);
-            progress_tick progress generator;
-            collect ())
-      end
-    in
-    collect ()
-
-let run ?(workers = 1) ?(seed = 0x51135113L) ?config ?(engine = `Compiled)
-    ?(on_error = `Abort) ?(hold = Slimsim_sta.Expr.true_) ?supervisor ?progress
+let run ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor ?progress
     net ~goal ~horizon ~strategy ~generator () =
-  let sup =
-    match supervisor with Some s -> s | None -> Supervisor.default ()
-  in
-  let cfg =
-    match config with
-    | Some c -> { c with Path.horizon }
-    | None -> Path.default_config ~horizon
-  in
-  (* Scripts are stateful user callbacks observing immutable states:
-     they need the interpreter, and a single worker — parallel lanes
-     would interleave their observations.  Downgrading (rather than
-     erroring) keeps a campaign runnable when a generic harness passes
-     its usual --workers flag. *)
-  let engine =
-    match strategy with Strategy.Scripted _ -> `Interpreted | _ -> engine
-  in
-  let workers =
-    match strategy with
-    | Strategy.Scripted _ when workers > 1 ->
-      Log.warn
-        ~fields:[ ("requested_workers", Json.Int workers) ]
-        (Printf.sprintf
-           "scripted strategies are stateful callbacks; running with workers \
-            = 1 (requested %d)"
-           workers);
-      1
-    | _ -> workers
-  in
-  let make = make_runner ~engine ~seed ~hold cfg net ~goal ~strategy in
   let result =
-    if workers <= 1 then
-      run_sequential ~sup ~on_error ~seed ~generator ~progress make
-    else run_parallel ~workers ~sup ~on_error ~seed ~generator ~progress make
+    match
+      Campaign.create ?workers ?seed ?config ?engine ?on_error ?hold
+        ?supervisor ?progress net ~goal ~horizon ~strategy ~generator ()
+    with
+    | Error e -> Error e
+    | Ok c -> Campaign.drive c
   in
   (match progress with Some p -> Progress.finish p | None -> ());
   result
 
 let estimate ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor
     ?progress net ~goal ~horizon ~strategy ~delta ~eps () =
-  let generator = Generator.create Generator.Chernoff ~delta ~eps in
+  let generator =
+    Slimsim_stats.Generator.create Slimsim_stats.Generator.Chernoff ~delta ~eps
+  in
   run ?workers ?seed ?config ?engine ?on_error ?hold ?supervisor ?progress net
     ~goal ~horizon ~strategy ~generator ()
 
-let pp_result ppf r =
-  Fmt.pf ppf
-    "p = %.6f  [%.6f, %.6f]  (%d/%d paths, %d dead/timelocked, %.2fs)"
-    r.probability r.ci_low r.ci_high r.successes r.paths r.deadlock_paths
-    r.wall_seconds;
-  if r.violated_paths > 0 then Fmt.pf ppf " (%d hold-violated)" r.violated_paths;
-  if r.errors > 0 then Fmt.pf ppf " (%d errored)" r.errors;
-  if r.diverged_paths > 0 then
-    Fmt.pf ppf " (%d diverged, %d dropped)" r.diverged_paths r.dropped_paths;
-  if r.worker_restarts > 0 then
-    Fmt.pf ppf " (%d worker restarts)" r.worker_restarts;
-  if r.stopped = Interrupted then Fmt.pf ppf " [interrupted]"
+let pp_result = Campaign.pp_result

@@ -1,6 +1,7 @@
-(** The Monte Carlo engine: drives path generation until the statistical
-    generator (§III-A) is satisfied, sequentially or across multiple
-    domains (§III-C), under the robustness policies of a {!Supervisor}.
+(** The one-shot Monte Carlo engine: create a {!Campaign} and drive it
+    until the statistical generator (§III-A) is satisfied, sequentially
+    or across multiple domains (§III-C), under the robustness policies
+    of a {!Supervisor}.
 
     Path [i] always draws from an RNG derived from [(seed, i)] and
     samples are consumed in path order (via buffered round-robin
@@ -10,18 +11,22 @@
     engine, the default, is bit-identical to the interpreted reference),
     of worker crashes (a restarted worker regenerates lost paths from
     their per-path seeds), and of checkpoint/resume (an interrupted
-    campaign continues to the same verdict stream). *)
+    campaign continues to the same verdict stream).
+
+    To step, park and resume a campaign incrementally — the resident
+    service's usage — use {!Campaign} directly; [run] is exactly
+    [Campaign.create] followed by [Campaign.drive]. *)
 
 open Slimsim_sta
 
-type stop_reason =
+type stop_reason = Campaign.stop_reason =
   | Converged  (** the statistical stopping rule was satisfied *)
   | Interrupted
       (** the supervisor's stop flag was raised (e.g. SIGINT); the
           estimate is partial and the interval reflects the achieved,
           not the requested, confidence *)
 
-type result = {
+type result = Campaign.result = {
   probability : float;
   ci_low : float;
   ci_high : float;  (** Hoeffding interval at the requested confidence *)

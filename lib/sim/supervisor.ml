@@ -11,12 +11,17 @@ type t = {
   stop : bool Atomic.t;
   chaos : (worker:int -> path:int -> unit) option;
   metrics_file : string option;
+  max_buffer : int;
+  drop_stall_limit : int;
 }
 
 let create ?(on_divergence = `Abort) ?checkpoint ?(resume = false)
-    ?(max_restarts = 3) ?(restart_backoff = 0.05) ?stop ?chaos ?metrics_file () =
+    ?(max_restarts = 3) ?(restart_backoff = 0.05) ?stop ?chaos ?metrics_file
+    ?(max_buffer = 256) ?(drop_stall_limit = 10_000) () =
   if max_restarts < 0 then invalid_arg "Supervisor.create: max_restarts";
   if restart_backoff < 0.0 then invalid_arg "Supervisor.create: restart_backoff";
+  if max_buffer <= 0 then invalid_arg "Supervisor.create: max_buffer";
+  if drop_stall_limit <= 0 then invalid_arg "Supervisor.create: drop_stall_limit";
   (match checkpoint with
   | Some { every; _ } when every <= 0 ->
     invalid_arg "Supervisor.create: checkpoint interval must be positive"
@@ -30,6 +35,8 @@ let create ?(on_divergence = `Abort) ?checkpoint ?(resume = false)
     stop = (match stop with Some s -> s | None -> Atomic.make false);
     chaos;
     metrics_file;
+    max_buffer;
+    drop_stall_limit;
   }
 
 let default () = create ()

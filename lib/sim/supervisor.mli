@@ -21,7 +21,7 @@ type t = {
           the stopping rule re-plan, so the campaign still consumes the
           planned number of {e kept} samples.  A campaign whose paths
           (almost) all diverge cannot converge under [`Drop]; after
-          10,000 consecutive dropped samples it aborts with
+          [drop_stall_limit] consecutive dropped samples it aborts with
           {!Path.Model_error} instead of spinning forever. *)
   checkpoint : checkpoint_cfg option;
   resume : bool;
@@ -50,6 +50,15 @@ type t = {
           progress.  Only written when metrics collection is enabled
           ({!Slimsim_obs.Metrics.set_enabled}); the CLI also writes it
           once at exit. *)
+  max_buffer : int;
+      (** Parallel collection only: how many samples one worker may run
+          ahead of the collector before its push blocks.  Larger buffers
+          smooth out path-length variance between workers at the cost of
+          memory; the verdict stream is independent of the value. *)
+  drop_stall_limit : int;
+      (** Under the [`Drop] divergence policy, abort after this many
+          {e consecutive} dropped samples — a campaign whose paths
+          (almost) all diverge can never converge, only spin. *)
 }
 
 val create :
@@ -61,11 +70,13 @@ val create :
   ?stop:bool Atomic.t ->
   ?chaos:(worker:int -> path:int -> unit) ->
   ?metrics_file:string ->
+  ?max_buffer:int ->
+  ?drop_stall_limit:int ->
   unit ->
   t
 (** Defaults: [`Abort], no checkpoint, no resume, [max_restarts = 3],
     [restart_backoff = 0.05], a fresh stop flag, no chaos, no metrics
-    file. *)
+    file, [max_buffer = 256], [drop_stall_limit = 10_000]. *)
 
 val default : unit -> t
 

@@ -17,5 +17,7 @@ let () =
       ("features", Test_features.suite);
       ("robustness", Test_robustness.suite);
       ("supervisor", Test_supervisor.suite);
+      ("campaign", Test_campaign.suite);
+      ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
     ]
