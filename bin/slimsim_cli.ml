@@ -955,7 +955,13 @@ let client_cmd =
         print_endline final;
         if not (is_ok final) then exit 1;
         match field final "state" with
-        | Some (Json.String "done") -> ()
+        | Some (Json.String "done") -> (
+          (* a tenant budget cut reports state "done" with a "budget"
+             tag and a partial estimate — that is an interruption, not
+             convergence *)
+          match field final "budget" with
+          | Some (Json.String _) -> exit 4
+          | _ -> ())
         | Some (Json.String "cancelled") -> exit 4
         | _ -> exit 1
       end);

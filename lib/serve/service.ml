@@ -58,7 +58,11 @@ type job = {
   mutable waiters : Unix.file_descr list;
 }
 
-type client = { fd : Unix.file_descr; buf : Buffer.t }
+type client = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  out : Buffer.t;  (* replies accepted but not yet written to the socket *)
+}
 
 type state = {
   cfg : config;
@@ -66,6 +70,7 @@ type state = {
   cache : Cache.t;
   sched : string Scheduler.t;
   jobs : (string, job) Hashtbl.t;
+  done_order : string Queue.t;  (* finished job ids, oldest first *)
   clients : (Unix.file_descr, client) Hashtbl.t;
   mutable next_id : int;
   mutable alive : bool;
@@ -85,17 +90,45 @@ let tenant_paths tenant =
   Metrics.counter "slimsim_serve_paths_total" ~labels:[ ("tenant", tenant) ]
     ~help:"Sample paths simulated on behalf of each tenant"
 
-let send_line fd line =
-  let line = line ^ "\n" in
-  try ignore (Unix.write_substring fd line 0 (String.length line))
-  with Unix.Unix_error _ -> ()
-
 let close_client st fd =
   Hashtbl.remove st.clients fd;
   Hashtbl.iter
     (fun _ job -> job.waiters <- List.filter (fun w -> w <> fd) job.waiters)
     st.jobs;
   try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Client sockets are non-blocking and replies are buffered per client,
+   drained opportunistically here and through select's write set in the
+   main loop: a client that stops reading stalls only itself, never the
+   loop, and is dropped once its backlog passes this bound. *)
+let max_client_backlog = 4 * 1024 * 1024
+
+let rec flush_client st fd =
+  match Hashtbl.find_opt st.clients fd with
+  | None -> ()
+  | Some c ->
+    let len = Buffer.length c.out in
+    if len > 0 then begin
+      match Unix.write_substring fd (Buffer.contents c.out) 0 len with
+      | n when n >= len -> Buffer.clear c.out
+      | n ->
+        let rest = Buffer.sub c.out n (len - n) in
+        Buffer.clear c.out;
+        Buffer.add_string c.out rest
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_client st fd
+      | exception Unix.Unix_error _ -> close_client st fd
+    end
+
+let send_line st fd line =
+  match Hashtbl.find_opt st.clients fd with
+  | None -> ()
+  | Some c ->
+    Buffer.add_string c.out line;
+    Buffer.add_char c.out '\n';
+    if Buffer.length c.out > max_client_backlog then close_client st fd
+    else flush_client st fd
 
 (* ---- job lifecycle ------------------------------------------------ *)
 
@@ -148,8 +181,19 @@ let job_status_fields job =
       ]
     @ budget
 
+(* Finished jobs stay queryable by [status] until this many newer ones
+   finish; beyond that they are evicted so a long-lived service does not
+   pin every past campaign (and its prepared network) forever.  The
+   result itself is always delivered: waiters are answered in [finish]
+   before any eviction. *)
+let max_finished_jobs = 256
+
 let finish st job result =
   job.finished <- Some result;
+  Queue.push job.id st.done_order;
+  while Queue.length st.done_order > max_finished_jobs do
+    Hashtbl.remove st.jobs (Queue.pop st.done_order)
+  done;
   Metrics.set_gauge st.m_running (running_jobs st);
   Log.emit ~event:"serve_done"
     [
@@ -163,7 +207,7 @@ let finish st job result =
           | Error _ -> "failed") );
     ];
   let line = Protocol.ok_line (job_status_fields job) in
-  List.iter (fun fd -> send_line fd line) job.waiters;
+  List.iter (fun fd -> send_line st fd line) job.waiters;
   job.waiters <- []
 
 let check_budgets st job =
@@ -204,7 +248,7 @@ let run_slice st job =
 (* ---- request handling --------------------------------------------- *)
 
 let handle_submit st fd (s : Protocol.submit) =
-  let reject msg = send_line fd (Protocol.error_line msg) in
+  let reject msg = send_line st fd (Protocol.error_line msg) in
   if unfinished_of_tenant st s.tenant >= st.cfg.max_campaigns_per_tenant then
     reject
       (Printf.sprintf "admission: tenant %S is at its campaign limit (%d)"
@@ -279,7 +323,7 @@ let handle_submit st fd (s : Protocol.submit) =
             ("network_hash", Json.String entry.Cache.hash);
             ("cache", Json.String (match hit with `Hit -> "hit" | `Miss -> "miss"));
           ];
-        send_line fd
+        send_line st fd
           (Protocol.ok_line
              [
                ("id", Json.String id);
@@ -320,7 +364,7 @@ let handle_line st fd line =
   match Protocol.request_of_line line with
   | Error e ->
     Metrics.incr (req_counter "invalid");
-    send_line fd (Protocol.error_line e)
+    send_line st fd (Protocol.error_line e)
   | Ok req -> (
     let op =
       match req with
@@ -336,7 +380,7 @@ let handle_line st fd line =
     Metrics.incr (req_counter op);
     match req with
     | Protocol.Hello ->
-      send_line fd
+      send_line st fd
         (Protocol.ok_line
            [
              ("tool_version", Json.String Slimsim.tool_version);
@@ -345,25 +389,25 @@ let handle_line st fd line =
     | Submit s -> handle_submit st fd s
     | Status id -> (
       match Hashtbl.find_opt st.jobs id with
-      | None -> send_line fd (Protocol.error_line ("unknown campaign " ^ id))
-      | Some job -> send_line fd (Protocol.ok_line (job_status_fields job)))
+      | None -> send_line st fd (Protocol.error_line ("unknown campaign " ^ id))
+      | Some job -> send_line st fd (Protocol.ok_line (job_status_fields job)))
     | Wait id -> (
       match Hashtbl.find_opt st.jobs id with
-      | None -> send_line fd (Protocol.error_line ("unknown campaign " ^ id))
+      | None -> send_line st fd (Protocol.error_line ("unknown campaign " ^ id))
       | Some job -> (
         match job.finished with
-        | Some _ -> send_line fd (Protocol.ok_line (job_status_fields job))
+        | Some _ -> send_line st fd (Protocol.ok_line (job_status_fields job))
         | None -> job.waiters <- fd :: job.waiters))
     | Cancel id -> (
       match Hashtbl.find_opt st.jobs id with
-      | None -> send_line fd (Protocol.error_line ("unknown campaign " ^ id))
+      | None -> send_line st fd (Protocol.error_line ("unknown campaign " ^ id))
       | Some job ->
         if job.finished = None then begin
           job.cancelled <- true;
           Supervisor.request_stop job.sup;
           Log.emit ~event:"serve_cancel" [ ("id", Json.String id) ]
         end;
-        send_line fd
+        send_line st fd
           (Protocol.ok_line
              [
                ("id", Json.String id);
@@ -371,19 +415,33 @@ let handle_line st fd line =
                  Json.String
                    (if job.finished = None then "cancelling" else "finished") );
              ]))
-    | Stats -> send_line fd (Protocol.ok_line (stats_fields st))
+    | Stats -> send_line st fd (Protocol.ok_line (stats_fields st))
     | Metrics ->
-      send_line fd
+      send_line st fd
         (Protocol.ok_line [ ("exposition", Json.String (Metrics.render ())) ])
     | Shutdown ->
-      send_line fd (Protocol.ok_line [ ("state", Json.String "shutting_down") ]);
+      send_line st fd (Protocol.ok_line [ ("state", Json.String "shutting_down") ]);
       st.alive <- false)
 
+let handle_accept st =
+  match Unix.accept st.listen_fd with
+  | cfd, _ ->
+    Unix.set_nonblock cfd;
+    Hashtbl.replace st.clients cfd
+      { fd = cfd; inbuf = Buffer.create 256; out = Buffer.create 256 }
+  | exception
+      Unix.Unix_error
+        ((Unix.ECONNABORTED | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    -> ()
+  | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE) as e, _, _) ->
+    (* fd exhaustion: leave the connection in the listen backlog and let
+       the loop breathe instead of dying *)
+    Log.emit ~event:"serve_accept_overload"
+      [ ("error", Json.String (Unix.error_message e)) ];
+    Unix.sleepf 0.05
+
 let handle_readable st fd =
-  if fd = st.listen_fd then begin
-    let cfd, _ = Unix.accept st.listen_fd in
-    Hashtbl.replace st.clients cfd { fd = cfd; buf = Buffer.create 256 }
-  end
+  if fd = st.listen_fd then handle_accept st
   else
     match Hashtbl.find_opt st.clients fd with
     | None -> ()
@@ -391,17 +449,20 @@ let handle_readable st fd =
       let chunk = Bytes.create 4096 in
       match Unix.read fd chunk 0 4096 with
       | 0 -> close_client st fd
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
       | exception Unix.Unix_error _ -> close_client st fd
       | n ->
-        Buffer.add_subbytes client.buf chunk 0 n;
+        Buffer.add_subbytes client.inbuf chunk 0 n;
         let rec drain () =
-          let s = Buffer.contents client.buf in
+          let s = Buffer.contents client.inbuf in
           match String.index_opt s '\n' with
           | None -> ()
           | Some i ->
             let line = String.sub s 0 i in
-            Buffer.clear client.buf;
-            Buffer.add_string client.buf
+            Buffer.clear client.inbuf;
+            Buffer.add_string client.inbuf
               (String.sub s (i + 1) (String.length s - i - 1));
             if String.trim line <> "" then handle_line st fd (String.trim line);
             if st.alive then drain ()
@@ -432,6 +493,23 @@ let shutdown st =
       drain ()
   in
   drain ();
+  (* best-effort: give the waiter notifications buffered above a bounded
+     moment to reach their clients before the fds are closed *)
+  let deadline = Unix.gettimeofday () +. 1.0 in
+  let rec flush_all () =
+    let pending =
+      Hashtbl.fold
+        (fun fd c acc -> if Buffer.length c.out > 0 then fd :: acc else acc)
+        st.clients []
+    in
+    if pending <> [] && Unix.gettimeofday () < deadline then begin
+      (match Unix.select [] pending [] 0.1 with
+      | _, writable, _ -> List.iter (flush_client st) writable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      flush_all ()
+    end
+  in
+  flush_all ();
   Log.emit ~event:"serve_shutdown" [];
   Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.clients;
   (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
@@ -463,6 +541,7 @@ let run cfg =
       cache = Cache.create ~capacity:cfg.cache_capacity;
       sched = Scheduler.create ();
       jobs = Hashtbl.create 32;
+      done_order = Queue.create ();
       clients = Hashtbl.create 8;
       next_id = 0;
       alive = true;
@@ -486,21 +565,32 @@ let run cfg =
   let stop_signal = Sys.Signal_handle (fun _ -> st.alive <- false) in
   let prev_int = Sys.signal Sys.sigint stop_signal in
   let prev_term = Sys.signal Sys.sigterm stop_signal in
+  (* a write to a client that hung up must surface as EPIPE for the
+     flush path to handle, not as a process-killing SIGPIPE *)
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   Log.emit ~event:"serve_start"
     [ ("socket", Json.String cfg.socket_path); ("slice", Json.Int cfg.slice) ];
   Fun.protect
     ~finally:(fun () ->
       Sys.set_signal Sys.sigint prev_int;
       Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigpipe prev_pipe;
       close_log ())
     (fun () ->
       while st.alive do
         let fds =
           st.listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) st.clients []
         in
+        let wfds =
+          Hashtbl.fold
+            (fun fd c acc -> if Buffer.length c.out > 0 then fd :: acc else acc)
+            st.clients []
+        in
         let timeout = if Scheduler.pending st.sched > 0 then 0.0 else 0.25 in
-        (match Unix.select fds [] [] timeout with
-        | readable, _, _ -> List.iter (handle_readable st) readable
+        (match Unix.select fds wfds [] timeout with
+        | readable, writable, _ ->
+          List.iter (flush_client st) writable;
+          List.iter (handle_readable st) readable
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
         if st.alive then
           match Scheduler.take st.sched with
