@@ -585,6 +585,102 @@ let micro ?(quick = false) ?(json = false) () =
         (fun (label, pct) -> ("observability:obs-overhead-" ^ label, pct))
         obs_overheads
   in
+  (* distributed throughput: the same full-gps campaign driven through
+     coordinator + worker processes at 1 and 2 workers.  Fixed-N
+     Chernoff, so every run simulates the identical path set and the
+     wall-clock ratio is pure scaling; best-of-3 discards spawn noise.
+     The dist layer's contract is >= 1.7x at 2 workers — only checkable
+     with at least 2 cores, so the row records the core count and the
+     verdict is skipped on a single-CPU host (where the measured ratio
+     is the layer's overhead, not its scaling). *)
+  let dist_rows =
+    let bin =
+      match Sys.getenv_opt "SLIMSIM_BIN" with
+      | Some b -> b
+      | None ->
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          "../bin/slimsim_cli.exe"
+    in
+    if not (Sys.file_exists bin) then begin
+      Fmt.pr "  dist: worker binary %s not built, skipping@." bin;
+      []
+    end
+    else begin
+      let module C = Slimsim_dist.Coordinator in
+      let job =
+        {
+          C.model_source = Gps.source;
+          property = Printf.sprintf "P(<> [0, 300] %s)" Gps.goal_no_fix;
+          strategy = "asap";
+          engine = "compiled";
+          seed = 1L;
+          on_error = `Abort;
+          max_steps = 1_000_000;
+          max_sim_time = None;
+          max_wall_per_path = None;
+          on_deadlock = "falsify";
+        }
+      in
+      (* eps sets the fixed Chernoff N: ~40k paths quick, ~160k full *)
+      let eps = if quick then 0.0192 else 0.0096 in
+      let measure workers =
+        let cfg = C.config ~workers ~worker_cmd:[| bin; "work" |] () in
+        let best = ref infinity and paths = ref 0 in
+        for _ = 1 to if quick then 1 else 3 do
+          let generator =
+            Slimsim_stats.Generator.create Slimsim_stats.Generator.Chernoff
+              ~delta:0.05 ~eps
+          in
+          let t0 = Unix.gettimeofday () in
+          match C.run cfg job ~generator with
+          | Ok o ->
+            best := Float.min !best (Unix.gettimeofday () -. t0);
+            paths := o.C.result.Slimsim_sim.Campaign.paths
+          | Error e ->
+            failwith
+              ("dist bench run failed: " ^ Slimsim_sim.Path.error_to_string e)
+        done;
+        (!best, !paths)
+      in
+      let w1, n1 = measure 1 in
+      let w2, n2 = measure 2 in
+      if n1 <> n2 then
+        failwith
+          (Printf.sprintf "dist bench: path counts differ (%d vs %d)" n1 n2);
+      let speedup = w1 /. w2 in
+      let cores = Domain.recommended_domain_count () in
+      Fmt.pr "  %-45s %11.3f s %14.1f paths/s@." "dist: gps-full --distribute 1"
+        w1
+        (float_of_int n1 /. w1);
+      Fmt.pr "  %-45s %11.3f s %14.1f paths/s@." "dist: gps-full --distribute 2"
+        w2
+        (float_of_int n2 /. w2);
+      Fmt.pr "  %-45s %13.2fx %s@." "dist: 2-worker speedup" speedup
+        (if cores < 2 then
+           Printf.sprintf "[contract >=1.7x: skipped, %d cpu]" cores
+         else if speedup >= 1.7 then "[contract >=1.7x: OK]"
+         else "[contract >=1.7x: FAIL]");
+      if cores >= 2 && speedup < 1.7 then
+        failwith
+          (Printf.sprintf
+             "dist scaling contract violated: %.2fx < 1.7x at 2 workers on %d cores"
+             speedup cores);
+      [
+        Printf.sprintf
+          "{\"name\": \"dist:gps-full-distribute-1\", \"paths_per_sec\": %.1f, \"wall_s\": %.3f}"
+          (float_of_int n1 /. w1)
+          w1;
+        Printf.sprintf
+          "{\"name\": \"dist:gps-full-distribute-2\", \"paths_per_sec\": %.1f, \"wall_s\": %.3f}"
+          (float_of_int n2 /. w2)
+          w2;
+        Printf.sprintf
+          "{\"name\": \"dist:gps-full-distribute-2-speedup\", \"speedup\": %.2f, \"cores\": %d}"
+          speedup cores;
+      ]
+    end
+  in
   (* the pre-pass contract: each bundled-model analysis completes in
      under 10 ms (best-of-5 to discard first-run allocation noise), so
      running it by default before every campaign is free in practice *)
@@ -616,13 +712,21 @@ let micro ?(quick = false) ?(json = false) () =
       (fun i (name, ns, per_sec, wall) ->
         pr "  {\"name\": %S, \"ns_per_run\": %.1f, \"paths_per_sec\": %.1f, \"wall_s\": %.3f}%s\n"
           name ns per_sec wall
-          (if i < List.length rows - 1 || overhead_rows <> [] then "," else ""))
+          (if i < List.length rows - 1 || overhead_rows <> [] || dist_rows <> []
+           then ","
+           else ""))
       rows;
     List.iteri
       (fun i (name, pct) ->
         pr "  {\"name\": %S, \"overhead_pct\": %.2f}%s\n" name pct
-          (if i < List.length overhead_rows - 1 then "," else ""))
+          (if i < List.length overhead_rows - 1 || dist_rows <> [] then ","
+           else ""))
       overhead_rows;
+    List.iteri
+      (fun i row ->
+        pr "  %s%s\n" row
+          (if i < List.length dist_rows - 1 then "," else ""))
+      dist_rows;
     pr "]\n";
     close_out oc;
     Fmt.pr "  wrote BENCH_sim.json (%d kernels)@." (List.length rows)

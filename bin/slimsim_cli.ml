@@ -378,11 +378,75 @@ let simulate_cmd =
             "Under --on-divergence drop, abort after $(docv) consecutive \
              dropped samples — a campaign whose paths (almost) all diverge \
              can never converge, only spin.")
+  and max_restarts =
+    Arg.(
+      value & opt int 3
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Per-worker crash budget.  An in-process worker domain that \
+             crashes once more aborts the campaign; a distributed worker \
+             process is quarantined instead and the campaign degrades to \
+             the remaining workers.")
+  and distribute =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "distribute" ] ~docv:"N"
+          ~doc:
+            "Run the campaign across $(docv) worker processes (spawned via \
+             --worker-cmd) instead of in-process domains.  Path-id leases \
+             are granted to workers and their verdict batches merged in \
+             path order, so the estimate is bit-identical to a \
+             single-process run at the same seed, under any worker count \
+             and any failure schedule.  Workers that die or stall are \
+             respawned with backoff up to --max-restarts, then \
+             quarantined.  Skips the qualitative pre-pass; --buffer sets \
+             the verdicts-per-batch frame size.")
+  and worker_cmd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "worker-cmd" ] ~docv:"CMD"
+          ~doc:
+            "Shell command whose stdin/stdout speak the worker protocol — \
+             anything that ends up running $(b,slimsim work), e.g. \
+             'ssh host slimsim work'.  Default: this executable's own \
+             $(b,work) subcommand.")
+  and lease =
+    Arg.(
+      value & opt int 1024
+      & info [ "lease" ] ~docv:"N"
+          ~doc:
+            "Paths per granted lease.  Smaller leases reassign less work \
+             when a worker dies; larger ones amortize grant round-trips.")
+  and dist_heartbeat =
+    Arg.(
+      value & opt float 1.0
+      & info [ "dist-heartbeat" ] ~docv:"SECONDS"
+          ~doc:"Worker heartbeat interval.")
+  and dist_liveness =
+    Arg.(
+      value & opt float 10.0
+      & info [ "dist-liveness" ] ~docv:"SECONDS"
+          ~doc:
+            "Declare a worker dead after this long without a frame; must \
+             comfortably exceed the heartbeat interval plus the longest \
+             single path.")
+  and chaos =
+    Arg.(
+      value & opt string ""
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Fault injection for distributed runs (testing): \
+             ';'-separated rules [w<k>:][a<k>:]action@{path|boot}[:arg] \
+             with actions kill, exit, stall, corrupt, dup, delay — e.g. \
+             'w1:kill@120;a0:stall@300'.")
   in
   let run file prop strategy delta eps workers generator deadlock_error engine
       on_error seed no_lint max_steps max_sim_time max_wall_per_path
       on_divergence checkpoint checkpoint_every resume metrics log_json
-      progress no_prepass buffer drop_stall_limit =
+      progress no_prepass buffer drop_stall_limit max_restarts distribute
+      worker_cmd lease dist_heartbeat dist_liveness chaos =
     (* Observability comes up before the model loads so the front-end
        phase timings land in the metrics and the event log. *)
     if metrics <> None then Metrics.set_enabled true;
@@ -420,9 +484,11 @@ let simulate_cmd =
     if buffer <= 0 then die 1 "slimsim: --buffer must be positive";
     if drop_stall_limit <= 0 then
       die 1 "slimsim: --drop-stall-limit must be positive";
+    if max_restarts < 0 then die 1 "slimsim: --max-restarts must be >= 0";
     let supervisor =
       Slimsim_sim.Supervisor.create ~on_divergence ?checkpoint ~resume
-        ?metrics_file:metrics ~max_buffer:buffer ~drop_stall_limit ()
+        ?metrics_file:metrics ~max_buffer:buffer ~drop_stall_limit
+        ~max_restarts ()
     in
     Slimsim_sim.Supervisor.install_signal_handlers supervisor;
     let progress =
@@ -448,6 +514,133 @@ let simulate_cmd =
             (Slimsim_sim.Supervisor.divergence_policy_to_string on_divergence)
         );
       ];
+    match distribute with
+    | Some nworkers ->
+      let module Coordinator = Slimsim_dist.Coordinator in
+      let module SimC = Slimsim_sim.Campaign in
+      if nworkers < 1 then die 1 "slimsim: --distribute must be >= 1";
+      (* validate the property here for an early, local error; workers
+         re-parse it themselves and reject a bad handshake anyway *)
+      (match S.parse_property m prop with
+      | Ok _ -> ()
+      | Error e -> die 1 ("slimsim: " ^ e));
+      let complement =
+        match Slimsim_props.Pattern.parse prop with
+        | Ok pat -> pat.Slimsim_props.Pattern.complement
+        | Error e -> die 1 ("slimsim: " ^ e)
+      in
+      let source =
+        try In_channel.with_open_bin file In_channel.input_all
+        with Sys_error e -> die 1 e
+      in
+      let worker_argv =
+        match worker_cmd with
+        (* exec so signals reach the worker, not an intermediate shell *)
+        | Some cmd -> [| "/bin/sh"; "-c"; "exec " ^ cmd |]
+        | None -> [| Sys.executable_name; "work" |]
+      in
+      let cfg =
+        try
+          Coordinator.config ~workers:nworkers ~worker_cmd:worker_argv
+            ~lease_size:lease ~batch:buffer ~heartbeat:dist_heartbeat
+            ~liveness:dist_liveness ~chaos ()
+        with Invalid_argument e -> die 1 ("slimsim: " ^ e)
+      in
+      let job =
+        {
+          Coordinator.model_source = source;
+          property = prop;
+          strategy = Strategy.to_string strategy;
+          engine =
+            (match engine with
+            | `Compiled -> "compiled"
+            | `Interpreted -> "interpreted");
+          seed;
+          on_error;
+          max_steps;
+          max_sim_time;
+          max_wall_per_path;
+          on_deadlock = (if deadlock_error then "error" else "falsify");
+        }
+      in
+      let gen = S.Generator.create generator ~delta ~eps in
+      (match Coordinator.run ~supervisor ?progress cfg job ~generator:gen with
+      | Error e ->
+        let e = Slimsim_sim.Path.error_to_string e in
+        Log.emit ~event:"campaign_error" [ ("error", Json.String e) ];
+        die 1 e
+      | Ok o ->
+        let r = o.Coordinator.result in
+        let pr, lo, hi =
+          if complement then
+            ( 1.0 -. r.SimC.probability,
+              1.0 -. r.SimC.ci_high,
+              1.0 -. r.SimC.ci_low )
+          else (r.SimC.probability, r.SimC.ci_low, r.SimC.ci_high)
+        in
+        let est =
+          {
+            S.probability = pr;
+            ci_low = lo;
+            ci_high = hi;
+            paths = r.SimC.paths;
+            successes = r.SimC.successes;
+            deadlock_paths = r.SimC.deadlock_paths;
+            violated_paths = r.SimC.violated_paths;
+            errors = r.SimC.errors;
+            diverged_paths = r.SimC.diverged_paths;
+            dropped_paths = r.SimC.dropped_paths;
+            worker_restarts = r.SimC.worker_restarts;
+            interrupted = r.SimC.stopped = SimC.Interrupted;
+            wall_seconds = r.SimC.wall_seconds;
+            certificate = None;
+          }
+        in
+        Fmt.pr "%a@." S.pp_estimate est;
+        Log.emit ~event:"dist_summary"
+          [
+            ("workers", Json.Int nworkers);
+            ("leases_granted", Json.Int o.Coordinator.leases_granted);
+            ("leases_reassigned", Json.Int o.Coordinator.leases_reassigned);
+            ("duplicate_paths", Json.Int o.Coordinator.duplicate_paths);
+            ("frames_rejected", Json.Int o.Coordinator.frames_rejected);
+            ("heartbeats_missed", Json.Int o.Coordinator.heartbeats_missed);
+            ("quarantined", Json.Int o.Coordinator.quarantined);
+          ];
+        if o.Coordinator.all_lost then begin
+          Log.warn
+            ~fields:
+              [
+                ("source", Json.String "distribute");
+                ("paths", Json.Int est.S.paths);
+                ("quarantined", Json.Int o.Coordinator.quarantined);
+              ]
+            (Printf.sprintf
+               "every worker exhausted its restart budget; partial estimate \
+                after %d paths"
+               est.S.paths);
+          teardown ();
+          exit 5
+        end
+        else if est.S.interrupted then begin
+          let half = (est.S.ci_high -. est.S.ci_low) /. 2.0 in
+          Log.warn
+            ~fields:
+              [
+                ("source", Json.String "interrupt");
+                ("paths", Json.Int est.S.paths);
+                ("achieved_half_width", Json.Float half);
+                ("requested_eps", Json.Float eps);
+              ]
+            (Printf.sprintf
+               "interrupted after %d paths; achieved half-width %.6f \
+                (requested %g)"
+               est.S.paths half eps);
+          teardown ();
+          exit 4
+        end
+        else teardown ())
+    | None -> (
     match
       S.check ~workers ~seed ~generator ~on_deadlock ~engine ~on_error
         ~supervisor ?progress ~max_steps ?max_sim_time ?max_wall_per_path
@@ -475,7 +668,7 @@ let simulate_cmd =
       else teardown ()
     | Error e ->
       Log.emit ~event:"campaign_error" [ ("error", Json.String e) ];
-      die 1 e
+      die 1 e)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -484,13 +677,15 @@ let simulate_cmd =
           status: 0 converged, 1 aborted (path error, divergence under \
           --on-divergence abort, or unusable input), 4 interrupted \
           (SIGINT/SIGTERM; a partial estimate with its achieved confidence \
-          was printed).")
+          was printed), 5 every distributed worker was lost (a partial \
+          estimate was printed).")
     Term.(
       const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
       $ generator $ deadlock_error $ engine $ on_error $ seed_arg $ no_lint_arg
       $ max_steps $ max_sim_time $ max_wall_per_path $ on_divergence
       $ checkpoint $ checkpoint_every $ resume $ metrics $ log_json $ progress
-      $ no_prepass $ buffer $ drop_stall_limit)
+      $ no_prepass $ buffer $ drop_stall_limit $ max_restarts $ distribute
+      $ worker_cmd $ lease $ dist_heartbeat $ dist_liveness $ chaos)
 
 (* --- exact --- *)
 
@@ -872,14 +1067,40 @@ let client_cmd =
           ~doc:
             "Send one raw request object instead of submitting a model \
              (e.g. '{\"op\":\"stats\"}' or '{\"op\":\"shutdown\"}').")
+  and connect_retries =
+    Arg.(
+      value & opt int 3
+      & info [ "connect-retries" ] ~docv:"N"
+          ~doc:
+            "Retry a refused or missing socket up to $(docv) times with \
+             capped exponential backoff (covers the race against a service \
+             still starting up).  0 fails on the first attempt.")
   in
   let run socket model prop strategy seed delta eps workers generator tenant
-      no_wait raw =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX socket)
-     with Unix.Unix_error (e, _, _) ->
-       or_die
-         (Error (Printf.sprintf "%s: cannot connect (%s)" socket (Unix.error_message e))));
+      no_wait raw connect_retries =
+    if connect_retries < 0 then
+      or_die (Error "slimsim client: --connect-retries must be >= 0");
+    let backoff = Slimsim_sim.Supervisor.default () in
+    let rec connect attempt =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> fd
+      | exception Unix.Unix_error (e, _, _) -> (
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        match e with
+        | (Unix.ECONNREFUSED | Unix.ENOENT) when attempt < connect_retries ->
+          let delay = Slimsim_sim.Supervisor.backoff_delay backoff ~attempt in
+          Fmt.epr "slimsim client: %s: %s; retrying in %.2fs (%d/%d)@." socket
+            (Unix.error_message e) delay (attempt + 1) connect_retries;
+          Unix.sleepf delay;
+          connect (attempt + 1)
+        | _ ->
+          or_die
+            (Error
+               (Printf.sprintf "%s: cannot connect (%s)" socket
+                  (Unix.error_message e))))
+    in
+    let fd = connect 0 in
     let ic = Unix.in_channel_of_descr fd in
     let send line =
       let line = line ^ "\n" in
@@ -976,7 +1197,21 @@ let client_cmd =
           a tenant budget.")
     Term.(
       const run $ socket_arg $ model_opt $ prop_opt $ strategy_arg $ seed_arg
-      $ delta $ eps $ workers $ generator $ tenant $ no_wait $ raw)
+      $ delta $ eps $ workers $ generator $ tenant $ no_wait $ raw
+      $ connect_retries)
+
+let work_cmd =
+  let run () = exit (Slimsim_dist.Worker.run ()) in
+  Cmd.v
+    (Cmd.info "work"
+       ~doc:
+         "Serve as a distributed-campaign worker: speak length-prefixed \
+          JSON frames over stdin/stdout, simulating path-id leases granted \
+          by a 'simulate --distribute' coordinator (which spawns this \
+          subcommand itself, or via --worker-cmd over e.g. ssh).  Exit \
+          status: 0 shutdown or coordinator EOF, 1 internal crash, 2 \
+          unusable handshake.")
+    Term.(const run $ const ())
 
 let version_cmd =
   let run () = print_endline version in
@@ -996,5 +1231,5 @@ let () =
             info_cmd; lint_cmd; simulate_cmd; exact_cmd; trace_cmd;
             interactive_cmd; cutsets_cmd; fmea_cmd; fdir_cmd;
             diagnosability_cmd; verify_cmd; dot_cmd; serve_cmd; client_cmd;
-            version_cmd;
+            work_cmd; version_cmd;
           ]))

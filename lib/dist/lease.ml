@@ -1,0 +1,127 @@
+open Slimsim_sim
+
+type detail = Div of Path.divergence | Err of Path.error
+
+type lease = {
+  id : int;
+  lo : int;
+  hi : int;
+  verdicts : Bytes.t;
+  mutable filled : int;
+  mutable owner : int option;
+  mutable grants : int;
+  mutable details : (int * detail) list;
+}
+
+type t = {
+  mutable order : lease list;  (* unconsumed leases, ascending [lo] *)
+  by_id : (int, lease) Hashtbl.t;
+  mutable pending : lease list;  (* awaiting (re)grant, ascending [lo] *)
+  mutable next_id : int;
+  mutable next_lo : int;
+  size : int;
+}
+
+let create ~base ~size =
+  if size <= 0 then invalid_arg "Lease.create: size";
+  {
+    order = [];
+    by_id = Hashtbl.create 64;
+    pending = [];
+    next_id = 0;
+    next_lo = base;
+    size;
+  }
+
+let grant t ~owner =
+  match t.pending with
+  | l :: rest ->
+    t.pending <- rest;
+    l.owner <- Some owner;
+    l.grants <- l.grants + 1;
+    l
+  | [] ->
+    let l =
+      {
+        id = t.next_id;
+        lo = t.next_lo;
+        hi = t.next_lo + t.size;
+        verdicts = Bytes.make t.size '\000';
+        filled = 0;
+        owner = Some owner;
+        grants = 1;
+        details = [];
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.next_lo <- t.next_lo + t.size;
+    Hashtbl.replace t.by_id l.id l;
+    t.order <- t.order @ [ l ];
+    l
+
+let pending t = List.length t.pending
+let find t id = Hashtbl.find_opt t.by_id id
+let frontier t = t.next_lo
+
+let outstanding t =
+  List.filter_map
+    (fun l -> if l.filled < l.hi - l.lo then Some (l.id, l.lo, l.hi) else None)
+    t.order
+
+let fail_owner t w =
+  let lost =
+    List.filter
+      (fun l -> l.owner = Some w && l.filled < l.hi - l.lo)
+      t.order
+  in
+  List.iter (fun l -> l.owner <- None) lost;
+  (* keep pending sorted by lo so regrants preserve consumption order *)
+  t.pending <-
+    List.sort (fun a b -> compare a.lo b.lo) (t.pending @ lost);
+  List.length lost
+
+let record t ~lease_id ~start verdicts details =
+  match Hashtbl.find_opt t.by_id lease_id with
+  | None -> `Unknown
+  | Some l ->
+    let len = String.length verdicts in
+    let off = start - l.lo in
+    if off < 0 || off + len > l.hi - l.lo then `Gap
+    else if off > l.filled then `Gap
+    else if off + len <= l.filled then `Duplicate
+    else begin
+      Bytes.blit_string verdicts 0 l.verdicts off len;
+      let fresh = off + len - l.filled in
+      let dup = l.filled - off in
+      l.filled <- off + len;
+      List.iter
+        (fun (p, d) ->
+          if p >= l.lo + off + dup && not (List.mem_assoc p l.details) then
+            l.details <- (p, d) :: l.details)
+        details;
+      `New (fresh, dup)
+    end
+
+let consume_ready t ~cursor ~stop ~f =
+  let cur = ref cursor in
+  let continue = ref true in
+  while !continue do
+    match t.order with
+    | [] -> continue := false
+    | l :: rest ->
+      if !cur >= l.hi then begin
+        (* fully consumed: forget it *)
+        Hashtbl.remove t.by_id l.id;
+        t.order <- rest
+      end
+      else if !cur < l.lo then continue := false (* carving gap: impossible, but safe *)
+      else if !cur - l.lo >= l.filled then continue := false
+      else if stop () then continue := false
+      else begin
+        let c = Bytes.get l.verdicts (!cur - l.lo) in
+        let d = List.assoc_opt !cur l.details in
+        f !cur c d;
+        incr cur
+      end
+  done;
+  !cur

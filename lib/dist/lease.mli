@@ -1,0 +1,82 @@
+(** Lease bookkeeping: contiguous path-id ranges granted to worker
+    processes, with banked verdicts awaiting in-order consumption.
+
+    Ranges are carved sequentially, so the lease list is also the
+    consumption order; each lease banks its verdict classes in a byte
+    buffer indexed by path offset and tracks the contiguous prefix
+    received.  Batches always come from a lease's current owner (a
+    failed owner is killed and its pipe closed before the lease is
+    returned to the pending pool), so the prefix only grows forward;
+    anything at or below the prefix is a duplicate — a reassigned
+    range being regenerated, or a chaos-duplicated frame — and is
+    counted and dropped, never double-fed.  That single rule is the
+    whole duplicate-suppression argument: the collector feeds the
+    statistical generator exactly once per path id, in path order. *)
+
+open Slimsim_sim
+
+(** Side-table payload for diverged/errored paths. *)
+type detail = Div of Path.divergence | Err of Path.error
+
+type lease = private {
+  id : int;
+  lo : int;
+  hi : int;  (** exclusive *)
+  verdicts : Bytes.t;  (** class char per path offset; '\000' = missing *)
+  mutable filled : int;  (** contiguous verdicts banked from [lo] *)
+  mutable owner : int option;  (** worker slot currently generating it *)
+  mutable grants : int;  (** times granted; > 1 means reassigned *)
+  mutable details : (int * detail) list;  (** absolute path id -> payload *)
+}
+
+type t
+
+val create : base:int -> size:int -> t
+(** Ranges are carved from [base] (the resume cursor) in [size]-path
+    slabs. *)
+
+val grant : t -> owner:int -> lease
+(** Hand out the lowest pending lease (a range lost by a failed worker)
+    if any, else carve a fresh range.  Re-granting an existing range
+    counts as a reassignment. *)
+
+val pending : t -> int
+(** Ranges waiting to be (re)granted. *)
+
+val find : t -> int -> lease option
+(** Look up an unconsumed lease by id. *)
+
+val frontier : t -> int
+(** First path id no carved range covers yet; [frontier - cursor] is
+    the speculation depth (carved but unconsumed paths). *)
+
+val outstanding : t -> (int * int * int) list
+(** [(id, lo, hi)] of every granted-but-not-fully-consumed lease — the
+    checkpoint's lease bookkeeping. *)
+
+val fail_owner : t -> int -> int
+(** Return every lease owned by this worker slot to the pending pool;
+    banked verdicts are kept (the replacement regenerates the range
+    bit-identically and the overlap is suppressed as duplicates).
+    Returns how many leases were taken back. *)
+
+val record :
+  t ->
+  lease_id:int ->
+  start:int ->
+  string ->
+  (int * detail) list ->
+  [ `New of int * int | `Duplicate | `Unknown | `Gap ]
+(** Bank one batch of verdict classes starting at absolute path id
+    [start].  [`New (fresh, dup)]: [fresh] paths extended the prefix,
+    [dup] were overlap.  [`Duplicate]: nothing new (whole batch at or
+    below the prefix).  [`Unknown]: the lease is already fully consumed
+    and forgotten (a late duplicate).  [`Gap]: the batch starts beyond
+    the prefix — a protocol violation from a live owner. *)
+
+val consume_ready :
+  t -> cursor:int -> stop:(unit -> bool) -> f:(int -> char -> detail option -> unit) -> int
+(** Feed banked verdicts in path order starting at [cursor] to [f],
+    stopping at the first missing path or when [stop ()] — checked
+    before every path — says so.  Fully consumed leases are dropped
+    (bounding memory).  Returns the new cursor. *)

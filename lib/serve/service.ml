@@ -434,11 +434,16 @@ let handle_accept st =
         ((Unix.ECONNABORTED | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
     -> ()
   | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE) as e, _, _) ->
-    (* fd exhaustion: leave the connection in the listen backlog and let
-       the loop breathe instead of dying *)
+    (* fd exhaustion: leave the connection in the listen backlog and wait
+       for an existing client to become serviceable — readable traffic or
+       a disconnect frees descriptors, so waking on it beats a fixed nap
+       (and a capped timeout still guarantees the loop breathes) *)
     Log.emit ~event:"serve_accept_overload"
       [ ("error", Json.String (Unix.error_message e)) ];
-    Unix.sleepf 0.05
+    let client_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.clients [] in
+    (match Unix.select client_fds [] [] 0.05 with
+    | _ -> ()
+    | exception Unix.Unix_error (_, _, _) -> ())
 
 let handle_readable st fd =
   if fd = st.listen_fd then handle_accept st

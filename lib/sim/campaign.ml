@@ -49,6 +49,8 @@ let new_tally () =
   { deadlocks = 0; violated = 0; errors = 0; diverged = 0; dropped = 0;
     restarts = 0; consec_dropped = 0 }
 
+let note_restart tally = tally.restarts <- tally.restarts + 1
+
 (* Collector-side metric cells, created once per campaign when metrics
    are enabled and touched only by the collecting thread (the thread
    calling [step]) — single-writer like the per-worker path cells. *)
@@ -243,6 +245,7 @@ let checkpoint_state gen tally ~seed ~next_path =
     errors = tally.errors;
     diverged = tally.diverged;
     dropped = tally.dropped;
+    leases = [];
   }
 
 (* One checkpoint write, observed: the save is counted and timed, the
@@ -349,7 +352,8 @@ let worker_obs ~worker =
 
 let timed secs f = match secs with None -> f () | Some h -> Metrics.time h f
 
-let make_runner ~engine ~seed ~hold ~compiled cfg net ~goal ~strategy =
+let make_runner ~engine ~seed ?(hold = Slimsim_sta.Expr.true_) ?compiled cfg
+    net ~goal ~strategy =
   match engine with
   | `Interpreted ->
     fun ~worker () ->
@@ -485,7 +489,7 @@ let create ?(workers = 1) ?(seed = 0x51135113L) ?config ?(engine = `Compiled)
         seed;
         generator;
         progress;
-        make = make_runner ~engine ~seed ~hold ~compiled cfg net ~goal ~strategy;
+        make = make_runner ~engine ~seed ~hold ?compiled cfg net ~goal ~strategy;
         workers;
         tally;
         robs = make_run_obs ();

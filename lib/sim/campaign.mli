@@ -108,3 +108,95 @@ val snapshot : t -> float * float * float * int
 val generator_kind : t -> Slimsim_stats.Generator.kind
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Collection hooks}
+
+    The pieces of the campaign loop the distributed coordinator
+    ({!Slimsim_dist}) reuses verbatim, so that a coordinator merging
+    verdict batches from worker processes applies byte-for-byte the
+    same error/divergence policies, tallies, checkpoint states and
+    summaries as the in-process loop — the accounting half of the
+    bit-identity guarantee. *)
+
+(** Mutable verdict-class tallies (deadlocks, hold violations, errors,
+    divergences, drops, restarts). *)
+type tally
+
+val new_tally : unit -> tally
+
+val note_restart : tally -> unit
+(** Count one worker restart (surfaces as [result.worker_restarts]). *)
+
+(** Collector-side metric cells ([slimsim_verdicts_total] and friends);
+    [None] when metrics are disabled. *)
+type run_obs
+
+val make_run_obs : unit -> run_obs option
+
+val consume :
+  ?robs:run_obs ->
+  on_error:[ `Abort | `Unsat ] ->
+  on_divergence:[ `Abort | `Unsat | `Drop ] ->
+  drop_stall_limit:int ->
+  path:int ->
+  Slimsim_stats.Generator.t ->
+  tally ->
+  (Path.verdict, Path.error) Result.t ->
+  [ `Fed | `Dropped | `Abort of Path.error ]
+(** Route one sample (for path id [path]) through the error and
+    divergence policies: update the tallies, feed the generator (or
+    drop), or ask the caller to abort.  Samples must be presented in
+    strictly increasing path order for the estimate to be
+    schedule-independent. *)
+
+val summarize :
+  Slimsim_stats.Generator.t -> tally -> stopped:stop_reason -> float -> result
+(** Close the books: the [result] for the generator's current estimate
+    and the tallies, billing the given wall-clock seconds.  Emits the
+    [campaign_end] event. *)
+
+val checkpoint_state :
+  Slimsim_stats.Generator.t ->
+  tally ->
+  seed:int64 ->
+  next_path:int ->
+  Supervisor.Checkpoint.state
+(** The persistable state at cursor [next_path], with no lease
+    bookkeeping ([leases = []]); a coordinator overrides [leases] with
+    its outstanding grants. *)
+
+val write_checkpoint :
+  ?robs:run_obs -> Supervisor.t -> file:string -> Supervisor.Checkpoint.state -> unit
+(** One atomic checkpoint write, observed (counted, timed, metrics
+    re-exported per [supervisor.metrics_file]) when observability is
+    on. *)
+
+val resume_base :
+  Supervisor.t ->
+  Slimsim_stats.Generator.t ->
+  tally ->
+  seed:int64 ->
+  (int, Path.error) Result.t
+(** When [supervisor.resume] is set, restore generator and tallies from
+    the checkpoint file and return the resume cursor (0 on a fresh
+    start; [Error] on an incompatible or unreadable checkpoint). *)
+
+val make_runner :
+  engine:[ `Compiled | `Interpreted ] ->
+  seed:int64 ->
+  ?hold:Expr.t ->
+  ?compiled:Compiled.t ->
+  Path.config ->
+  Network.t ->
+  goal:Expr.t ->
+  strategy:Strategy.t ->
+  worker:int ->
+  unit ->
+  int ->
+  (Path.verdict, Path.error) Result.t
+(** The per-worker runner factory: stage the network (unless [compiled]
+    is supplied), then build the [path id -> outcome] function for one
+    worker.  Path [i] draws from an RNG derived from [(seed, i)] alone,
+    so a worker process handed any range of path ids — including a
+    range a dead worker lost — generates it bit-identically to the
+    in-process engine. *)

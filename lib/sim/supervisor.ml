@@ -80,9 +80,11 @@ module Checkpoint = struct
     errors : int;
     diverged : int;
     dropped : int;
+    leases : (int * int * int) list;
   }
 
-  let magic = "slimsim-checkpoint 1"
+  let magic = "slimsim-checkpoint"
+  let format_version = 2
 
   (* Atomicity: write the whole state to [file ^ ".tmp"], then rename.
      rename(2) is atomic within a filesystem, so a reader (including a
@@ -95,7 +97,7 @@ module Checkpoint = struct
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        Printf.fprintf oc "%s\n" magic;
+        Printf.fprintf oc "%s %d\n" magic format_version;
         Printf.fprintf oc "seed %Ld\n" st.seed;
         Printf.fprintf oc "generator %s\n" (Generator.kind_to_string st.kind);
         (* %h hex floats round-trip exactly, so the resumed campaign
@@ -105,8 +107,34 @@ module Checkpoint = struct
         Printf.fprintf oc "next-path %d\n" st.next_path;
         Printf.fprintf oc "estimator %d %d\n" st.trials st.successes;
         Printf.fprintf oc "tallies %d %d %d %d %d\n" st.deadlocks st.violated
-          st.errors st.diverged st.dropped);
+          st.errors st.diverged st.dropped;
+        Printf.fprintf oc "leases %d\n" (List.length st.leases);
+        List.iter
+          (fun (id, lo, hi) -> Printf.fprintf oc "lease %d %d %d\n" id lo hi)
+          st.leases);
     Unix.rename tmp file
+
+  (* The header is "<magic-word> <version>".  The magic word and the
+     version are checked separately so a stale (or future) checkpoint is
+     rejected with a version message, not a generic decode failure. *)
+  let parse_header l =
+    match String.index_opt l ' ' with
+    | None -> Error "unrecognized checkpoint header"
+    | Some i ->
+      let word = String.sub l 0 i in
+      let rest = String.sub l (i + 1) (String.length l - i - 1) in
+      if word <> magic then Error "unrecognized checkpoint header"
+      else (
+        match int_of_string_opt (String.trim rest) with
+        | None -> Error "unrecognized checkpoint header"
+        | Some v when v <> format_version ->
+          Error
+            (Printf.sprintf
+               "unsupported checkpoint format version %d (this build reads \
+                and writes version %d); delete the file or re-run without \
+                --resume to start fresh"
+               v format_version)
+        | Some _ -> Ok ())
 
   let load ~file =
     try
@@ -115,8 +143,9 @@ module Checkpoint = struct
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           let line () = String.trim (input_line ic) in
-          if line () <> magic then Error "unrecognized checkpoint header"
-          else begin
+          match parse_header (line ()) with
+          | Error e -> Error e
+          | Ok () -> begin
             let seed = Scanf.sscanf (line ()) "seed %Ld" Fun.id in
             let kind_s = Scanf.sscanf (line ()) "generator %s" Fun.id in
             match Generator.kind_of_string kind_s with
@@ -140,27 +169,38 @@ module Checkpoint = struct
                 Scanf.sscanf (line ()) "tallies %d %d %d %d %d"
                   (fun a b c d e -> (a, b, c, d, e))
               in
-              if
-                trials < 0 || successes < 0 || successes > trials
-                || next_path < 0 || deadlocks < 0 || violated < 0 || errors < 0
-                || diverged < 0 || dropped < 0
-              then Error "inconsistent checkpoint counters"
-              else
-                Ok
-                  {
-                    seed;
-                    kind;
-                    delta;
-                    eps;
-                    next_path;
-                    trials;
-                    successes;
-                    deadlocks;
-                    violated;
-                    errors;
-                    diverged;
-                    dropped;
-                  }
+              let n_leases = Scanf.sscanf (line ()) "leases %d" Fun.id in
+              if n_leases < 0 then failwith "negative lease count"
+              else begin
+                let leases =
+                  List.init n_leases (fun _ ->
+                      Scanf.sscanf (line ()) "lease %d %d %d" (fun a b c ->
+                          (a, b, c)))
+                in
+                if
+                  trials < 0 || successes < 0 || successes > trials
+                  || next_path < 0 || deadlocks < 0 || violated < 0
+                  || errors < 0 || diverged < 0 || dropped < 0
+                  || List.exists (fun (_, lo, hi) -> lo < 0 || hi < lo) leases
+                then Error "inconsistent checkpoint counters"
+                else
+                  Ok
+                    {
+                      seed;
+                      kind;
+                      delta;
+                      eps;
+                      next_path;
+                      trials;
+                      successes;
+                      deadlocks;
+                      violated;
+                      errors;
+                      diverged;
+                      dropped;
+                      leases;
+                    }
+              end
           end)
     with
     | Sys_error msg -> Error msg

@@ -117,7 +117,22 @@ module Checkpoint : sig
     errors : int;
     diverged : int;
     dropped : int;
+    leases : (int * int * int) list;
+        (** distributed campaigns: the [(id, lo, hi)] path-id ranges
+            granted but not yet fully consumed when the checkpoint was
+            taken.  Purely bookkeeping — a resumed campaign re-carves
+            ranges from [next_path], regenerating any in-flight work
+            bit-identically from the per-path seeds — so single-process
+            campaigns write [[]]. *)
   }
+
+  val magic : string
+  (** The header magic word, ["slimsim-checkpoint"].  Also exchanged
+      (with {!format_version}) in the distributed wire handshake. *)
+
+  val format_version : int
+  (** Version written after the magic word.  [load] rejects any other
+      version with a clear message instead of a decode failure. *)
 
   val save : file:string -> state -> unit
   (** Atomic: the state is written to [file ^ ".tmp"] and renamed over

@@ -32,6 +32,11 @@ let create kind ~delta ~eps =
 
 let planned_samples t = t.planned
 
+let remaining_samples t =
+  match t.planned with
+  | Some n -> Some (max 0 (n - Estimator.trials t.est))
+  | None -> None
+
 let feed t outcome = Estimator.add t.est outcome
 
 let needs_more t =

@@ -22,6 +22,14 @@ val create : kind -> delta:float -> eps:float -> t
 val planned_samples : t -> int option
 (** [Some n] for fixed-size generators, [None] for sequential ones. *)
 
+val remaining_samples : t -> int option
+(** [Some (planned - trials)] for fixed-size generators, [None] for
+    sequential ones.  A sizing hint for work hand-off (how many more
+    kept samples the rule will ask for): under a [`Drop] divergence
+    policy more paths than this may be consumed, so callers planning
+    path-id ranges should treat it as a lower bound and keep consulting
+    {!needs_more}. *)
+
 val feed : t -> bool -> unit
 (** Record one path verdict. *)
 

@@ -20,4 +20,5 @@ let () =
       ("campaign", Test_campaign.suite);
       ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
+      ("dist", Test_dist.suite);
     ]

@@ -344,6 +344,7 @@ let test_checkpoint_roundtrip () =
       errors = 3;
       diverged = 4;
       dropped = 5;
+      leases = [ (7, 120, 184); (8, 184, 248) ];
     }
   in
   let file = Filename.temp_file "slimsim" ".ckpt" in
@@ -410,6 +411,75 @@ let test_interrupt_and_resume () =
         [ 1; 2; 4 ])
     [ Generator.Chernoff; Generator.Chow_robbins ]
 
+let test_backoff_delay () =
+  let sup = Supervisor.create ~restart_backoff:0.05 () in
+  Alcotest.(check (float 1e-12))
+    "attempt 0 is the base delay" 0.05
+    (Supervisor.backoff_delay sup ~attempt:0);
+  (* monotone doubling until the cap *)
+  let rec check_monotone prev attempt =
+    if attempt <= 12 then begin
+      let d = Supervisor.backoff_delay sup ~attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d does not shrink" attempt)
+        true (d >= prev);
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d capped at 1s" attempt)
+        true (d <= 1.0);
+      check_monotone d (attempt + 1)
+    end
+  in
+  check_monotone 0.05 1;
+  Alcotest.(check (float 1e-12))
+    "attempt 1 doubles" 0.1
+    (Supervisor.backoff_delay sup ~attempt:1);
+  Alcotest.(check (float 1e-12))
+    "deep attempts saturate at 1s" 1.0
+    (Supervisor.backoff_delay sup ~attempt:30)
+
+let test_stale_checkpoint_version () =
+  (* a version-1 file (no version number after the magic word, no lease
+     section) must be rejected with a message naming both versions, not a
+     scanf decode failure *)
+  let file = Filename.temp_file "slimsim" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc
+        "slimsim-checkpoint 1\n\
+         seed 81985529216486895\n\
+         generator chernoff\n\
+         delta 0.05\n\
+         eps 0.01\n\
+         next_path 100\n\
+         trials 100\n\
+         successes 40\n\
+         deadlocks 0\n\
+         violated 0\n\
+         errors 0\n\
+         diverged 0\n\
+         dropped 0\n";
+      close_out oc;
+      (match Supervisor.Checkpoint.load ~file with
+      | Ok _ -> Alcotest.fail "a version-1 checkpoint must be rejected"
+      | Error msg ->
+        Alcotest.(check bool) "names the stale version" true
+          (Astring_contains.contains msg "version 1");
+        Alcotest.(check bool) "names the supported version" true
+          (Astring_contains.contains msg
+             (string_of_int Supervisor.Checkpoint.format_version)));
+      (* garbage where the magic word should be is a different, equally
+         clear error *)
+      let oc = open_out file in
+      output_string oc "not-a-checkpoint 2\n";
+      close_out oc;
+      match Supervisor.Checkpoint.load ~file with
+      | Ok _ -> Alcotest.fail "a foreign file must be rejected"
+      | Error msg ->
+        Alcotest.(check bool) "mentions the header" true
+          (Astring_contains.contains msg "header"))
+
 let test_resume_mismatch () =
   let net = load Slimsim_models.Gps.source in
   let g = goal net Slimsim_models.Gps.goal_no_fix in
@@ -447,4 +517,8 @@ let suite =
       test_interrupt_and_resume;
     Alcotest.test_case "resume rejects a mismatched seed" `Quick
       test_resume_mismatch;
+    Alcotest.test_case "backoff: base, doubling, 1s cap" `Quick
+      test_backoff_delay;
+    Alcotest.test_case "checkpoint: stale version rejected" `Quick
+      test_stale_checkpoint_version;
   ]
