@@ -210,7 +210,19 @@ let simulate_cmd =
       value
       & opt generator_conv S.Generator.Chernoff
       & info [ "g"; "generator" ]
-          ~doc:"Sample-count rule: chernoff, hoeffding, gauss or chow-robbins.")
+          ~doc:
+            "Sample-count rule: chernoff, hoeffding, gauss, chow-robbins or \
+             mlmc (multilevel Monte Carlo over coupled coarse/fine paths; \
+             see --mlmc-levels).")
+  and mlmc_levels =
+    Arg.(
+      value & opt int 4
+      & info [ "mlmc-levels" ] ~docv:"L"
+          ~doc:
+            "With --generator mlmc: the fidelity hierarchy depth.  Level l \
+             simulates at horizon H/2^(L-1-l); level L-1 is the full \
+             property horizon, and L=1 degenerates to the classic \
+             single-level campaign (bit-identical path streams).")
   and deadlock_error =
     Arg.(
       value & flag
@@ -442,11 +454,11 @@ let simulate_cmd =
              with actions kill, exit, stall, corrupt, dup, delay — e.g. \
              'w1:kill@120;a0:stall@300'.")
   in
-  let run file prop strategy delta eps workers generator deadlock_error engine
-      on_error seed no_lint max_steps max_sim_time max_wall_per_path
-      on_divergence checkpoint checkpoint_every resume metrics log_json
-      progress no_prepass buffer drop_stall_limit max_restarts distribute
-      worker_cmd lease dist_heartbeat dist_liveness chaos =
+  let run file prop strategy delta eps workers generator mlmc_levels
+      deadlock_error engine on_error seed no_lint max_steps max_sim_time
+      max_wall_per_path on_divergence checkpoint checkpoint_every resume
+      metrics log_json progress no_prepass buffer drop_stall_limit max_restarts
+      distribute worker_cmd lease dist_heartbeat dist_liveness chaos =
     (* Observability comes up before the model loads so the front-end
        phase timings land in the metrics and the event log. *)
     if metrics <> None then Metrics.set_enabled true;
@@ -514,6 +526,12 @@ let simulate_cmd =
             (Slimsim_sim.Supervisor.divergence_policy_to_string on_divergence)
         );
       ];
+    if generator = S.Generator.Mlmc && distribute <> None then
+      die 1
+        "slimsim: --generator mlmc is not supported with --distribute (the \
+         coupled sampler is sequential); drop one of the two flags";
+    if mlmc_levels < 1 || mlmc_levels > 16 then
+      die 1 "slimsim: --mlmc-levels must be between 1 and 16";
     match distribute with
     | Some nworkers ->
       let module Coordinator = Slimsim_dist.Coordinator in
@@ -642,9 +660,23 @@ let simulate_cmd =
         else teardown ())
     | None -> (
     match
-      S.check ~workers ~seed ~generator ~on_deadlock ~engine ~on_error
-        ~supervisor ?progress ~max_steps ?max_sim_time ?max_wall_per_path
-        ~prepass:(not no_prepass) m ~property:prop ~strategy ~delta ~eps ()
+      if generator = S.Generator.Mlmc then begin
+        if workers > 1 then
+          Log.warn
+            ~fields:[ ("requested_workers", Json.Int workers) ]
+            (Printf.sprintf
+               "the mlmc generator drives a coupled sequential sampler; \
+                running with workers = 1 (requested %d)"
+               workers);
+        S.check_mlmc ~seed ~on_deadlock ~engine ~on_error ~supervisor
+          ?progress ~max_steps ?max_sim_time ?max_wall_per_path
+          ~prepass:(not no_prepass) ~levels:mlmc_levels m ~property:prop
+          ~strategy ~delta ~eps ()
+      end
+      else
+        S.check ~workers ~seed ~generator ~on_deadlock ~engine ~on_error
+          ~supervisor ?progress ~max_steps ?max_sim_time ?max_wall_per_path
+          ~prepass:(not no_prepass) m ~property:prop ~strategy ~delta ~eps ()
     with
     | Ok r ->
       Fmt.pr "%a@." S.pp_estimate r;
@@ -681,7 +713,8 @@ let simulate_cmd =
           estimate was printed).")
     Term.(
       const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
-      $ generator $ deadlock_error $ engine $ on_error $ seed_arg $ no_lint_arg
+      $ generator $ mlmc_levels $ deadlock_error $ engine $ on_error
+      $ seed_arg $ no_lint_arg
       $ max_steps $ max_sim_time $ max_wall_per_path $ on_divergence
       $ checkpoint $ checkpoint_every $ resume $ metrics $ log_json $ progress
       $ no_prepass $ buffer $ drop_stall_limit $ max_restarts $ distribute

@@ -180,6 +180,72 @@ let prepass_metric result =
          "slimsim_prepass_total"
          ~help:"pre-pass runs by result (p0 / p1 / inconclusive)")
 
+(* The qualitative shortcut shared by every checking front-end: [Some
+   (p, report)] when the skeleton pre-pass answers the property exactly.
+   The Scripted strategy hands control to a user callback (which may
+   Abort or Advance arbitrarily), so certificates about the measure of
+   all runs must not preempt it. *)
+let prepass_shortcut ~prepass ~strategy ?hold ~config ~max_wall_per_path
+    (m : model) ~goal =
+  let scripted = match strategy with Strategy.Scripted _ -> true | _ -> false in
+  if not (prepass && not scripted) then None
+  else begin
+    let report = Prepass.analyze ?hold m.Loader.network ~goal in
+    let answer =
+      match report.Prepass.outcome with
+      | Prepass.P0 _ -> Some 0.0
+      | Prepass.P1 { depth; _ }
+      (* All runs reach the goal within [depth] delay-free moves at
+         elapsed time 0, so no step / sim-time budget with room for
+         [depth] steps can reclassify them; a wall-clock watchdog
+         could, so its presence disables the shortcut. *)
+        when depth < config.Path.max_steps && max_wall_per_path = None ->
+        Some 1.0
+      | _ -> None
+    in
+    (match answer with
+    | Some _ ->
+      prepass_metric
+        (match report.Prepass.outcome with
+        | Prepass.P0 _ -> "p0"
+        | _ -> "p1")
+    | None -> prepass_metric "inconclusive");
+    Slimsim_obs.Log.emit ~event:"prepass"
+      [
+        ( "result",
+          Slimsim_obs.Json.String
+            (match report.Prepass.outcome with
+            | Prepass.P0 _ -> "p0"
+            | Prepass.P1 _ -> "p1"
+            | Prepass.Inconclusive _ -> "inconclusive") );
+        ("shortcut", Slimsim_obs.Json.Bool (answer <> None));
+        ("wall_seconds", Slimsim_obs.Json.Float report.Prepass.wall_seconds);
+      ];
+    Option.map (fun p -> (p, report)) answer
+  end
+
+(* Exact answer, no sampling: the certificate stands in for the whole
+   campaign.  The reported probability is complement-mapped exactly like
+   an estimated one. *)
+let exact_estimate ~complement (p_raw, report) =
+  let p = if complement then 1.0 -. p_raw else p_raw in
+  {
+    probability = p;
+    ci_low = p;
+    ci_high = p;
+    paths = 0;
+    successes = 0;
+    deadlock_paths = 0;
+    violated_paths = 0;
+    errors = 0;
+    diverged_paths = 0;
+    dropped_paths = 0;
+    worker_restarts = 0;
+    interrupted = false;
+    wall_seconds = report.Prepass.wall_seconds;
+    certificate = certificate_of ~complement report.Prepass.outcome;
+  }
+
 let check ?workers ?seed ?(generator = Generator.Chernoff)
     ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor ?progress
     ?max_steps ?max_sim_time ?max_wall_per_path ?(prepass = true) (m : model)
@@ -189,70 +255,11 @@ let check ?workers ?seed ?(generator = Generator.Chernoff)
     make_config ?max_steps ?max_sim_time ?max_wall_per_path ~on_deadlock
       ~horizon ()
   in
-  (* The Scripted strategy hands control to a user callback (which may
-     Abort or Advance arbitrarily), so certificates about the measure
-     of all runs must not preempt it. *)
-  let scripted = match strategy with Strategy.Scripted _ -> true | _ -> false in
-  let shortcut =
-    if not (prepass && not scripted) then None
-    else begin
-      let report = Prepass.analyze ?hold m.Loader.network ~goal in
-      let answer =
-        match report.Prepass.outcome with
-        | Prepass.P0 _ -> Some 0.0
-        | Prepass.P1 { depth; _ }
-        (* All runs reach the goal within [depth] delay-free moves at
-           elapsed time 0, so no step / sim-time budget with room for
-           [depth] steps can reclassify them; a wall-clock watchdog
-           could, so its presence disables the shortcut. *)
-          when depth < config.Path.max_steps && max_wall_per_path = None ->
-          Some 1.0
-        | _ -> None
-      in
-      (match answer with
-      | Some _ ->
-        prepass_metric
-          (match report.Prepass.outcome with
-          | Prepass.P0 _ -> "p0"
-          | _ -> "p1")
-      | None -> prepass_metric "inconclusive");
-      Slimsim_obs.Log.emit ~event:"prepass"
-        [
-          ( "result",
-            Slimsim_obs.Json.String
-              (match report.Prepass.outcome with
-              | Prepass.P0 _ -> "p0"
-              | Prepass.P1 _ -> "p1"
-              | Prepass.Inconclusive _ -> "inconclusive") );
-          ("shortcut", Slimsim_obs.Json.Bool (answer <> None));
-          ("wall_seconds", Slimsim_obs.Json.Float report.Prepass.wall_seconds);
-        ];
-      Option.map (fun p -> (p, report)) answer
-    end
-  in
-  match shortcut with
-  | Some (p_raw, report) ->
-    (* Exact answer, no sampling: the certificate stands in for the
-       whole campaign.  The reported probability is complement-mapped
-       exactly like an estimated one. *)
-    let p = if complement then 1.0 -. p_raw else p_raw in
-    Ok
-      {
-        probability = p;
-        ci_low = p;
-        ci_high = p;
-        paths = 0;
-        successes = 0;
-        deadlock_paths = 0;
-        violated_paths = 0;
-        errors = 0;
-        diverged_paths = 0;
-        dropped_paths = 0;
-        worker_restarts = 0;
-        interrupted = false;
-        wall_seconds = report.Prepass.wall_seconds;
-        certificate = certificate_of ~complement report.Prepass.outcome;
-      }
+  match
+    prepass_shortcut ~prepass ~strategy ?hold ~config ~max_wall_per_path m
+      ~goal
+  with
+  | Some shortcut -> Ok (exact_estimate ~complement shortcut)
   | None -> (
     (* The sampling path is "create a campaign, drive it to
        completion": the same resumable value a resident service steps
@@ -268,6 +275,71 @@ let check ?workers ?seed ?(generator = Generator.Chernoff)
         match Campaign.drive p.campaign with
         | Ok r -> Ok (estimate_of_result p r)
         | Error e -> Error (Path.error_to_string e)
+      in
+      (match progress with
+      | Some pr -> Slimsim_obs.Progress.finish pr
+      | None -> ());
+      result)
+
+(* The multilevel front-end: same parse / complement mapping / pre-pass
+   shortcut as [check], but the campaign is the coupled coarse/fine
+   driver of {!Slimsim_sim.Mlmc_run} instead of a single-level one.
+   Sequential by construction (the pair shares scratch state and the
+   allocator is consulted between samples). *)
+let check_mlmc ?seed ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor
+    ?progress ?max_steps ?max_sim_time ?max_wall_per_path ?(prepass = true)
+    ?levels ?warmup (m : model) ~property ~strategy ~delta ~eps () =
+  let module Mlmc_run = Slimsim_sim.Mlmc_run in
+  let* goal, hold, horizon, complement = parse_pattern_full m property in
+  let config =
+    make_config ?max_steps ?max_sim_time ?max_wall_per_path ~on_deadlock
+      ~horizon ()
+  in
+  match
+    prepass_shortcut ~prepass ~strategy ?hold ~config ~max_wall_per_path m
+      ~goal
+  with
+  | Some shortcut -> Ok (exact_estimate ~complement shortcut)
+  | None -> (
+    match
+      Mlmc_run.create ?seed ~config ?engine ?on_error ?hold ?supervisor
+        ?progress ?levels ?warmup m.Loader.network ~goal ~horizon ~strategy
+        ~delta ~eps ()
+    with
+    | Error e -> Error (Path.error_to_string e)
+    | Ok t ->
+      let result =
+        match Mlmc_run.drive t with
+        | Error e -> Error (Path.error_to_string e)
+        | Ok r ->
+          (* The telescoped CLT interval is not confined to [0,1] the
+             way a Bernoulli estimator's is; clamp before the
+             complement mapping so the report stays a probability. *)
+          let clamp x = Float.min 1.0 (Float.max 0.0 x) in
+          let p = clamp r.Mlmc_run.probability in
+          let lo = clamp r.Mlmc_run.ci_low in
+          let hi = clamp r.Mlmc_run.ci_high in
+          let p, lo, hi =
+            if complement then (1.0 -. p, 1.0 -. hi, 1.0 -. lo)
+            else (p, lo, hi)
+          in
+          Ok
+            {
+              probability = p;
+              ci_low = lo;
+              ci_high = hi;
+              paths = r.Mlmc_run.paths;
+              successes = r.Mlmc_run.sat_paths;
+              deadlock_paths = r.Mlmc_run.deadlock_paths;
+              violated_paths = r.Mlmc_run.violated_paths;
+              errors = r.Mlmc_run.errors;
+              diverged_paths = r.Mlmc_run.diverged_paths;
+              dropped_paths = r.Mlmc_run.dropped_samples;
+              worker_restarts = 0;
+              interrupted = r.Mlmc_run.stopped = Campaign.Interrupted;
+              wall_seconds = r.Mlmc_run.wall_seconds;
+              certificate = None;
+            }
       in
       (match progress with
       | Some pr -> Slimsim_obs.Progress.finish pr

@@ -123,6 +123,36 @@ val check :
     the [Scripted] strategy disables the pre-pass, since a script may
     abort runs arbitrarily. *)
 
+val check_mlmc :
+  ?seed:int64 ->
+  ?on_deadlock:[ `Error | `Falsify ] ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  ?on_error:[ `Abort | `Unsat ] ->
+  ?supervisor:Slimsim_sim.Supervisor.t ->
+  ?progress:Slimsim_obs.Progress.t ->
+  ?max_steps:int ->
+  ?max_sim_time:float ->
+  ?max_wall_per_path:float ->
+  ?prepass:bool ->
+  ?levels:int ->
+  ?warmup:int ->
+  model ->
+  property:string ->
+  strategy:Strategy.t ->
+  delta:float ->
+  eps:float ->
+  unit ->
+  (estimate, string) result
+(** Multilevel Monte Carlo estimation ({!Slimsim_sim.Mlmc_run}): coupled
+    coarse/fine path pairs over a horizon-truncation hierarchy of
+    [levels] (default 4) fidelities, allocated by the n_l ∝ sqrt(V_l/C_l)
+    rule so most samples run at cheap levels.  Same property parsing,
+    complement mapping and qualitative pre-pass as {!check}; sequential
+    by construction, so there is no [workers] parameter.  In the
+    returned estimate, [paths] counts simulations (both halves of a
+    pair), [successes] counts [Sat] verdicts across them, and the
+    interval is the telescoped CLT interval clamped to [0,1]. *)
+
 (** {1 Campaigns as values}
 
     [check] is a convenience: prepare a campaign, drive it to

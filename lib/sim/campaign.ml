@@ -246,6 +246,7 @@ let checkpoint_state gen tally ~seed ~next_path =
     diverged = tally.diverged;
     dropped = tally.dropped;
     leases = [];
+    mlmc = None;
   }
 
 (* One checkpoint write, observed: the save is counted and timed, the
@@ -316,6 +317,11 @@ let resume_base sup gen tally ~seed =
             Error
               (Path.Model_error
                  "cannot resume: checkpoint was taken with different delta/eps")
+          else if st.mlmc <> None then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint carries multilevel (mlmc) state; \
+                  resume it with --generator mlmc")
           else begin
             Generator.restore gen ~trials:st.trials ~successes:st.successes;
             tally.deadlocks <- st.deadlocks;

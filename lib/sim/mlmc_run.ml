@@ -1,0 +1,513 @@
+(* The multilevel campaign driver: the simulation-side half of the MLMC
+   estimator (the statistics live in Slimsim_stats.Mlmc).
+
+   Level fidelity is horizon truncation: with L levels, level l runs the
+   step loop at horizon H/2^(L-1-l) — the watchdog-budget knob of
+   Path.config — so the top level is the full-fidelity estimator and
+   each coarser level halves the simulated window.  Y_l is the
+   reachability indicator at horizon h_l, and E[Y_L] telescopes over the
+   coupled differences.
+
+   Coupling: the coarse and fine halves of a level-l sample draw from
+   the *same* stream, Rng.for_path_level ~seed ~level:l ~path:id copied
+   before the fine run.  Under the Asap strategy the coarse path is an
+   exact prefix of the fine one, so Y_l - Y_{l-1} is 0 unless the goal
+   is first reached in (h_{l-1}, h_l] — the variance decay that makes
+   the telescoping pay.  The estimator is unbiased regardless of how
+   tight the coupling is, because each E[Y_l - Y_{l-1}] is estimated by
+   honest paired runs.
+
+   Determinism: path (level, id) draws from an RNG derived from
+   (seed, level, id) alone, per-level cursors advance in sample order,
+   and allocation is driven by the deterministic cost model h_l/H — so
+   the sample schedule, the verdict stream and the estimate are a
+   function of (model, property, strategy, seed, levels) no matter how
+   the campaign is sliced, interrupted or resumed.  A one-level run
+   degenerates to the classic generator: same per-path RNG streams
+   (for_path_level at level 0 is for_path), same full-horizon config. *)
+
+module Rng = Slimsim_stats.Rng
+module Generator = Slimsim_stats.Generator
+module Mlmc = Slimsim_stats.Mlmc
+module Metrics = Slimsim_obs.Metrics
+module Log = Slimsim_obs.Log
+module Json = Slimsim_obs.Json
+module Progress = Slimsim_obs.Progress
+
+let max_levels = 16
+
+type result = {
+  probability : float;
+  ci_low : float;
+  ci_high : float;
+  samples_per_level : int array;
+  paths : int;  (* simulations run; a coupled pair counts both halves *)
+  sat_paths : int;
+  model_cost : float;  (* full-resolution-path units *)
+  deadlock_paths : int;
+  violated_paths : int;
+  errors : int;
+  diverged_paths : int;
+  dropped_samples : int;
+  stopped : Campaign.stop_reason;
+  wall_seconds : float;
+}
+
+type status = Running | Done of result | Failed of Path.error
+
+(* Per-level observability: sample and path counters labeled with the
+   level, created once at campaign start (single writer: the driver is
+   sequential). *)
+type level_obs = { c_samples : Metrics.counter; c_paths : Metrics.counter }
+
+let make_level_obs levels =
+  if not (Metrics.enabled ()) then None
+  else
+    Some
+      (Array.init levels (fun l ->
+           let labels = [ ("level", string_of_int l) ] in
+           {
+             c_samples =
+               Metrics.counter ~labels "slimsim_mlmc_samples_total"
+                 ~help:"Telescoped samples fed per MLMC level";
+             c_paths =
+               Metrics.counter ~labels "slimsim_mlmc_paths_total"
+                 ~help:
+                   "Paths simulated per MLMC level (a coupled pair counts \
+                    one path at each of its two levels)";
+           }))
+
+type t = {
+  sup : Supervisor.t;
+  on_error : [ `Abort | `Unsat ];
+  seed : int64;
+  est : Mlmc.t;
+  progress : Progress.t option;
+  runners : (Rng.t -> (Path.verdict, Path.error) Result.t) array;
+  weights : float array;  (* per-path model cost at each level: h_l/H *)
+  cursors : int array;
+  lobs : level_obs array option;
+  mutable paths : int;
+  mutable sat : int;
+  mutable cost : float;
+  mutable deadlocks : int;
+  mutable violated : int;
+  mutable errors : int;
+  mutable diverged : int;
+  mutable dropped : int;
+  mutable consec_dropped : int;
+  mutable active_seconds : float;
+  mutable slice_start : float;
+  mutable outcome : status;
+}
+
+let consumed t = Array.fold_left ( + ) 0 t.cursors
+
+let checkpoint_state t =
+  {
+    Supervisor.Checkpoint.seed = t.seed;
+    kind = Generator.Mlmc;
+    delta = Mlmc.delta t.est;
+    eps = Mlmc.eps t.est;
+    next_path = consumed t;
+    trials = Mlmc.total_samples t.est;
+    successes = 0;
+    deadlocks = t.deadlocks;
+    violated = t.violated;
+    errors = t.errors;
+    diverged = t.diverged;
+    dropped = t.dropped;
+    leases = [];
+    mlmc =
+      Some
+        {
+          Supervisor.Checkpoint.ml_levels =
+            Array.init (Mlmc.levels t.est) (fun l ->
+                let n, mean, m2 = Mlmc.level_state t.est ~level:l in
+                {
+                  Supervisor.Checkpoint.l_next_path = t.cursors.(l);
+                  l_count = n;
+                  l_mean = mean;
+                  l_m2 = m2;
+                });
+          ml_paths = t.paths;
+          ml_sat = t.sat;
+          ml_cost = t.cost;
+        };
+  }
+
+let save_checkpoint t =
+  match t.sup.Supervisor.checkpoint with
+  | Some { Supervisor.file; _ } ->
+    Campaign.write_checkpoint t.sup ~file (checkpoint_state t)
+  | None -> ()
+
+let maybe_checkpoint t =
+  match t.sup.Supervisor.checkpoint with
+  | Some { Supervisor.file; every } when consumed t mod every = 0 ->
+    Campaign.write_checkpoint t.sup ~file (checkpoint_state t)
+  | _ -> ()
+
+(* Resume validation mirrors Campaign.resume_base, plus the multilevel
+   block: same seed, the mlmc generator kind, same delta/eps, and a
+   per-level block with the same level count. *)
+let resume_state sup ~seed ~delta ~eps ~levels =
+  if not sup.Supervisor.resume then Ok None
+  else
+    match sup.Supervisor.checkpoint with
+    | None ->
+      Error (Path.Model_error "resume requested without a checkpoint file")
+    | Some { Supervisor.file; _ } ->
+      if not (Sys.file_exists file) then Ok None
+      else (
+        match Supervisor.Checkpoint.load ~file with
+        | Error msg -> Error (Path.Model_error ("cannot resume: " ^ msg))
+        | Ok st ->
+          if st.Supervisor.Checkpoint.seed <> seed then
+            Error
+              (Path.Model_error
+                 (Printf.sprintf
+                    "cannot resume: checkpoint was taken with seed %Ld, not %Ld"
+                    st.Supervisor.Checkpoint.seed seed))
+          else if st.kind <> Generator.Mlmc then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint was taken with a different \
+                  statistical generator")
+          else if st.delta <> delta || st.eps <> eps then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint was taken with different delta/eps")
+          else (
+            match st.mlmc with
+            | None ->
+              Error
+                (Path.Model_error
+                   "cannot resume: checkpoint has no multilevel state (it \
+                    was taken by a single-level generator)")
+            | Some m
+              when Array.length m.Supervisor.Checkpoint.ml_levels <> levels ->
+              Error
+                (Path.Model_error
+                   (Printf.sprintf
+                      "cannot resume: checkpoint was taken with %d levels, \
+                       not %d"
+                      (Array.length m.Supervisor.Checkpoint.ml_levels)
+                      levels))
+            | Some m -> Ok (Some (st, m))))
+
+let create ?(seed = 0x51135113L) ?config ?(engine = `Compiled)
+    ?(on_error = `Abort) ?(hold = Slimsim_sta.Expr.true_) ?supervisor ?progress
+    ?(levels = 4) ?warmup ?compiled net ~goal ~horizon ~strategy ~delta ~eps ()
+    =
+  let sup =
+    match supervisor with Some s -> s | None -> Supervisor.default ()
+  in
+  if levels < 1 || levels > max_levels then
+    Error
+      (Path.Model_error
+         (Printf.sprintf "mlmc: levels must be between 1 and %d (got %d)"
+            max_levels levels))
+  else (
+    match strategy with
+    | Strategy.Scripted _ ->
+      Error
+        (Path.Model_error
+           "mlmc: scripted strategies are stateful callbacks and cannot be \
+            replayed as coupled coarse/fine pairs; use a closed strategy or \
+            a single-level generator")
+    | _ ->
+      let base =
+        match config with
+        | Some c -> { c with Path.horizon }
+        | None -> Path.default_config ~horizon
+      in
+      (* Geometric hierarchy, factor 2: level l simulates at horizon
+         H/2^(L-1-l); the top level is the full-fidelity estimator.  The
+         weight h_l/H is also the model cost of one path at that level —
+         deterministic by construction, so allocation never depends on
+         wall clocks. *)
+      let weight l = 2.0 ** float_of_int (l - (levels - 1)) in
+      let weights = Array.init levels weight in
+      let configs =
+        Array.map (fun w -> { base with Path.horizon = horizon *. w }) weights
+      in
+      let costs =
+        Array.init levels (fun l ->
+            if l = 0 then weights.(0) else weights.(l) +. weights.(l - 1))
+      in
+      let est = Mlmc.create ?warmup ~costs ~delta ~eps () in
+      let obs =
+        if Metrics.enabled () then Some (Path.obs_cell ~worker:0) else None
+      in
+      let runners =
+        match engine with
+        | `Interpreted ->
+          Array.map
+            (fun cfg rng ->
+              fst (Path.generate ~hold ?obs net cfg strategy rng ~goal))
+            configs
+        | `Compiled ->
+          let c =
+            match compiled with
+            | Some c -> c
+            | None -> Slimsim_sta.Compiled.compile net
+          in
+          let q = Path.compile_query ~hold c ~goal in
+          let s = Slimsim_sta.Compiled.scratch c in
+          Array.map
+            (fun cfg rng -> Path.generate_compiled ?obs c s q cfg strategy rng)
+            configs
+      in
+      match resume_state sup ~seed ~delta ~eps ~levels with
+      | Error e -> Error e
+      | Ok restored ->
+        let t =
+          {
+            sup;
+            on_error;
+            seed;
+            est;
+            progress;
+            runners;
+            weights;
+            cursors = Array.make levels 0;
+            lobs = make_level_obs levels;
+            paths = 0;
+            sat = 0;
+            cost = 0.0;
+            deadlocks = 0;
+            violated = 0;
+            errors = 0;
+            diverged = 0;
+            dropped = 0;
+            consec_dropped = 0;
+            active_seconds = 0.0;
+            slice_start = 0.0;
+            outcome = Running;
+          }
+        in
+        (match restored with
+        | None -> ()
+        | Some (st, m) ->
+          Array.iteri
+            (fun l (lv : Supervisor.Checkpoint.mlmc_level) ->
+              Mlmc.restore_level est ~level:l ~n:lv.l_count ~mean:lv.l_mean
+                ~m2:lv.l_m2;
+              t.cursors.(l) <- lv.l_next_path)
+            m.Supervisor.Checkpoint.ml_levels;
+          t.paths <- m.ml_paths;
+          t.sat <- m.ml_sat;
+          t.cost <- m.ml_cost;
+          t.deadlocks <- st.Supervisor.Checkpoint.deadlocks;
+          t.violated <- st.violated;
+          t.errors <- st.errors;
+          t.diverged <- st.diverged;
+          t.dropped <- st.dropped);
+        Ok t)
+
+let wall_now t = t.active_seconds +. (Unix.gettimeofday () -. t.slice_start)
+
+let summarize t stopped =
+  let lo, hi = Mlmc.confidence_interval t.est in
+  let r =
+    {
+      probability = Mlmc.mean t.est;
+      ci_low = lo;
+      ci_high = hi;
+      samples_per_level =
+        Array.init (Mlmc.levels t.est) (fun l -> Mlmc.samples t.est ~level:l);
+      paths = t.paths;
+      sat_paths = t.sat;
+      model_cost = t.cost;
+      deadlock_paths = t.deadlocks;
+      violated_paths = t.violated;
+      errors = t.errors;
+      diverged_paths = t.diverged;
+      dropped_samples = t.dropped;
+      stopped;
+      wall_seconds = wall_now t;
+    }
+  in
+  Log.emit ~event:"mlmc_end"
+    [
+      ( "stopped",
+        Json.String
+          (match stopped with
+          | Campaign.Converged -> "converged"
+          | Campaign.Interrupted -> "interrupted") );
+      ("probability", Json.Float r.probability);
+      ("ci_low", Json.Float r.ci_low);
+      ("ci_high", Json.Float r.ci_high);
+      ("levels", Json.Int (Array.length r.samples_per_level));
+      ( "samples_per_level",
+        Json.List
+          (Array.to_list (Array.map (fun n -> Json.Int n) r.samples_per_level))
+      );
+      ("paths", Json.Int r.paths);
+      ("model_cost", Json.Float r.model_cost);
+      ("errors", Json.Int r.errors);
+      ("diverged_paths", Json.Int r.diverged_paths);
+      ("dropped_samples", Json.Int r.dropped_samples);
+      ("wall_seconds", Json.Float r.wall_seconds);
+    ];
+  r
+
+let finish_with t stopped =
+  save_checkpoint t;
+  let r = summarize t stopped in
+  t.outcome <- Done r;
+  Done r
+
+let fail_with t e =
+  t.outcome <- Failed e;
+  Failed e
+
+(* One simulated half of a sample: run it, charge its model cost, tally
+   its verdict, and route it through the error/divergence policies.
+   [`Val y] is the indicator contribution, [`Drop] discards the whole
+   sample (both halves), [`Abort] kills the campaign. *)
+let half t ~level ~id rng =
+  let outcome = t.runners.(level) rng in
+  t.paths <- t.paths + 1;
+  t.cost <- t.cost +. t.weights.(level);
+  (match t.lobs with
+  | Some cells -> Metrics.incr cells.(level).c_paths
+  | None -> ());
+  match outcome with
+  | Ok (Path.Diverged d) -> (
+    t.diverged <- t.diverged + 1;
+    Log.emit ~event:"divergence"
+      [
+        ("level", Json.Int level);
+        ("path", Json.Int id);
+        ("kind", Json.String (Path.divergence_to_string d));
+        ( "policy",
+          Json.String
+            (Supervisor.divergence_policy_to_string
+               t.sup.Supervisor.on_divergence) );
+      ];
+    match t.sup.Supervisor.on_divergence with
+    | `Abort -> `Abort (Path.Diverged_path d)
+    | `Unsat -> `Val 0.0
+    | `Drop -> `Drop)
+  | Ok v ->
+    (match v with
+    | Path.Unsat_deadlock | Path.Unsat_timelock ->
+      t.deadlocks <- t.deadlocks + 1
+    | Path.Unsat_violated _ -> t.violated <- t.violated + 1
+    | Path.Sat _ -> t.sat <- t.sat + 1
+    | Path.Unsat_horizon | Path.Diverged _ -> ());
+    `Val (match v with Path.Sat _ -> 1.0 | _ -> 0.0)
+  | Error e -> (
+    Log.emit ~event:"path_error"
+      [
+        ("level", Json.Int level);
+        ("path", Json.Int id);
+        ("error", Json.String (Path.error_to_string e));
+        ( "policy",
+          Json.String (match t.on_error with `Abort -> "abort" | `Unsat -> "unsat")
+        );
+      ];
+    match t.on_error with
+    | `Abort -> `Abort e
+    | `Unsat ->
+      t.errors <- t.errors + 1;
+      `Val 0.0)
+
+let drop_sample t =
+  t.dropped <- t.dropped + 1;
+  t.consec_dropped <- t.consec_dropped + 1;
+  if t.consec_dropped >= t.sup.Supervisor.drop_stall_limit then
+    `Abort
+      (Path.Model_error
+         (Printf.sprintf
+            "divergence policy `drop': %d consecutive samples diverged; the \
+             estimate conditioned on non-divergence cannot converge (raise \
+             the watchdog budgets or use --on-divergence unsat)"
+            t.consec_dropped))
+  else `Dropped
+
+(* One telescoped sample at [level]: the level-0 estimator alone, or the
+   coupled pair (fine at [level], coarse at [level-1]) sharing one
+   stream — the coarse half replays the fine half's RNG from a copy. *)
+let sample t level =
+  let id = t.cursors.(level) in
+  let rng_fine = Rng.for_path_level ~seed:t.seed ~level ~path:id in
+  let rng_coarse = Rng.copy rng_fine in
+  match half t ~level ~id rng_fine with
+  | `Abort e -> `Abort e
+  | (`Val _ | `Drop) as fine -> (
+    match
+      if level = 0 then `Val 0.0
+      else half t ~level:(level - 1) ~id rng_coarse
+    with
+    | `Abort e -> `Abort e
+    | (`Val _ | `Drop) as coarse -> (
+      t.cursors.(level) <- id + 1;
+      match (fine, coarse) with
+      | `Val y_fine, `Val y_coarse ->
+        t.consec_dropped <- 0;
+        Mlmc.feed t.est ~level (y_fine -. y_coarse);
+        (match t.lobs with
+        | Some cells -> Metrics.incr cells.(level).c_samples
+        | None -> ());
+        `Fed
+      | (`Drop, _ | _, `Drop) -> drop_sample t))
+
+let progress_tick t =
+  match t.progress with
+  | None -> ()
+  | Some p ->
+    Progress.tick p ~paths:(consumed t) (fun () ->
+        (Mlmc.mean t.est, Mlmc.half_width t.est))
+
+let step ?(quota = max_int) t =
+  match t.outcome with
+  | (Done _ | Failed _) as s -> s
+  | Running ->
+    t.slice_start <- Unix.gettimeofday ();
+    let rec go budget =
+      if Supervisor.stop_requested t.sup then finish_with t Campaign.Interrupted
+      else
+        match Mlmc.next_level t.est with
+        | None -> finish_with t Campaign.Converged
+        | Some _ when budget <= 0 -> Running
+        | Some level -> (
+          match sample t level with
+          | `Abort e -> fail_with t e
+          | `Fed | `Dropped ->
+            maybe_checkpoint t;
+            progress_tick t;
+            go (budget - 1))
+    in
+    let s = go quota in
+    t.active_seconds <-
+      t.active_seconds +. (Unix.gettimeofday () -. t.slice_start);
+    s
+
+let rec drive t =
+  match step t with
+  | Done r -> Ok r
+  | Failed e -> Error e
+  | Running -> drive t
+
+let status t = t.outcome
+let estimator t = t.est
+
+let pp_result ppf r =
+  Fmt.pf ppf "p = %.6f  [%.6f, %.6f]  (%d samples over %d levels: %a; %d \
+              paths, model cost %.1f, %.2fs)"
+    r.probability r.ci_low r.ci_high
+    (Array.fold_left ( + ) 0 r.samples_per_level)
+    (Array.length r.samples_per_level)
+    Fmt.(array ~sep:(any "/") int)
+    r.samples_per_level r.paths r.model_cost r.wall_seconds;
+  if r.deadlock_paths > 0 then
+    Fmt.pf ppf " (%d dead/timelocked)" r.deadlock_paths;
+  if r.violated_paths > 0 then Fmt.pf ppf " (%d hold-violated)" r.violated_paths;
+  if r.errors > 0 then Fmt.pf ppf " (%d errored)" r.errors;
+  if r.diverged_paths > 0 then
+    Fmt.pf ppf " (%d diverged, %d samples dropped)" r.diverged_paths
+      r.dropped_samples;
+  if r.stopped = Campaign.Interrupted then Fmt.pf ppf " [interrupted]"

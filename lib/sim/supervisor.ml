@@ -67,6 +67,22 @@ let divergence_policy_of_string = function
   | s -> Error (Printf.sprintf "unknown divergence policy %S" s)
 
 module Checkpoint = struct
+  (* One level of a multilevel (mlmc) campaign: its own path cursor plus
+     the full Welford accumulator state of the telescoped term. *)
+  type mlmc_level = {
+    l_next_path : int;
+    l_count : int;
+    l_mean : float;
+    l_m2 : float;
+  }
+
+  type mlmc_state = {
+    ml_levels : mlmc_level array;
+    ml_paths : int;  (* simulations run; a coupled pair counts both halves *)
+    ml_sat : int;
+    ml_cost : float;  (* model cost spent, full-resolution-path units *)
+  }
+
   type state = {
     seed : int64;
     kind : Generator.kind;
@@ -81,6 +97,9 @@ module Checkpoint = struct
     diverged : int;
     dropped : int;
     leases : (int * int * int) list;
+    mlmc : mlmc_state option;
+        (* trailing optional block: absent for classic campaigns, so
+           files they write stay byte-identical to earlier builds *)
   }
 
   let magic = "slimsim-checkpoint"
@@ -111,7 +130,17 @@ module Checkpoint = struct
         Printf.fprintf oc "leases %d\n" (List.length st.leases);
         List.iter
           (fun (id, lo, hi) -> Printf.fprintf oc "lease %d %d %d\n" id lo hi)
-          st.leases);
+          st.leases;
+        match st.mlmc with
+        | None -> ()
+        | Some m ->
+          Printf.fprintf oc "mlmc %d %d %d %h\n" (Array.length m.ml_levels)
+            m.ml_paths m.ml_sat m.ml_cost;
+          Array.iter
+            (fun l ->
+              Printf.fprintf oc "mlmc-level %d %d %h %h\n" l.l_next_path
+                l.l_count l.l_mean l.l_m2)
+            m.ml_levels);
     Unix.rename tmp file
 
   (* The header is "<magic-word> <version>".  The magic word and the
@@ -177,11 +206,50 @@ module Checkpoint = struct
                       Scanf.sscanf (line ()) "lease %d %d %d" (fun a b c ->
                           (a, b, c)))
                 in
+                (* The mlmc block is optional and trailing: EOF here is a
+                   classic (non-multilevel) checkpoint, not a truncated
+                   one. *)
+                let mlmc =
+                  match (try Some (line ()) with End_of_file -> None) with
+                  | None -> None
+                  | Some l ->
+                    let n_levels, ml_paths, ml_sat, ml_cost =
+                      Scanf.sscanf l "mlmc %d %d %d %h" (fun a b c d ->
+                          (a, b, c, d))
+                    in
+                    if n_levels <= 0 then failwith "bad mlmc level count";
+                    let ml_levels =
+                      Array.init n_levels (fun _ ->
+                          Scanf.sscanf (line ()) "mlmc-level %d %d %h %h"
+                            (fun a b c d ->
+                              {
+                                l_next_path = a;
+                                l_count = b;
+                                l_mean = c;
+                                l_m2 = d;
+                              }))
+                    in
+                    Some { ml_levels; ml_paths; ml_sat; ml_cost }
+                in
+                let mlmc_consistent =
+                  match mlmc with
+                  | None -> true
+                  | Some m ->
+                    m.ml_paths >= 0 && m.ml_sat >= 0
+                    && Float.is_finite m.ml_cost
+                    && m.ml_cost >= 0.0
+                    && Array.for_all
+                         (fun l ->
+                           l.l_next_path >= 0 && l.l_count >= 0
+                           && l.l_m2 >= 0.0)
+                         m.ml_levels
+                in
                 if
                   trials < 0 || successes < 0 || successes > trials
                   || next_path < 0 || deadlocks < 0 || violated < 0
                   || errors < 0 || diverged < 0 || dropped < 0
                   || List.exists (fun (_, lo, hi) -> lo < 0 || hi < lo) leases
+                  || not mlmc_consistent
                 then Error "inconsistent checkpoint counters"
                 else
                   Ok
@@ -199,6 +267,7 @@ module Checkpoint = struct
                       diverged;
                       dropped;
                       leases;
+                      mlmc;
                     }
               end
           end)

@@ -104,6 +104,24 @@ val divergence_policy_of_string :
     campaign continues to the same verdict stream and the same final
     estimate as an uninterrupted one. *)
 module Checkpoint : sig
+  type mlmc_level = {
+    l_next_path : int;  (** first path id not yet consumed at this level *)
+    l_count : int;
+    l_mean : float;
+    l_m2 : float;
+        (** the level's full Welford accumulator state; [%h] hex floats
+            on disk, so a resumed multilevel campaign allocates and
+            stops bit-identically *)
+  }
+
+  type mlmc_state = {
+    ml_levels : mlmc_level array;
+    ml_paths : int;
+        (** simulations run so far; a coupled pair counts both halves *)
+    ml_sat : int;  (** [Sat] verdicts seen (diagnostic) *)
+    ml_cost : float;  (** model cost spent, full-resolution-path units *)
+  }
+
   type state = {
     seed : int64;
     kind : Slimsim_stats.Generator.kind;
@@ -124,6 +142,11 @@ module Checkpoint : sig
             ranges from [next_path], regenerating any in-flight work
             bit-identically from the per-path seeds — so single-process
             campaigns write [[]]. *)
+    mlmc : mlmc_state option;
+        (** per-level state of a multilevel (mlmc) campaign.  Written as
+            a trailing optional block, so classic campaigns produce
+            byte-identical files to earlier builds and their old
+            checkpoints still load. *)
   }
 
   val magic : string

@@ -14,8 +14,16 @@ type kind =
   | Chow_robbins
       (** sequential: stop once the CLT interval half-width is at most
           eps (with a small minimum sample count) *)
+  | Mlmc
+      (** multilevel Monte Carlo: coupled coarse/fine path pairs with
+          per-level accumulators (see {!Mlmc} and the simulation-layer
+          driver).  As a plain generator — the degenerate single-level
+          case — it is the sequential CLT rule. *)
 
 type t
+
+val all_kinds : kind list
+(** Every generator kind, in the order they are documented. *)
 
 val create : kind -> delta:float -> eps:float -> t
 
@@ -49,4 +57,7 @@ val restore : t -> trials:int -> successes:int -> unit
     uninterrupted one. *)
 
 val kind_to_string : kind -> string
+
 val kind_of_string : string -> (kind, string) result
+(** Inverse of {!kind_to_string}; the error message enumerates the valid
+    names, so a CLI typo is self-explaining. *)

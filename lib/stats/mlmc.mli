@@ -1,0 +1,78 @@
+(** Multilevel Monte Carlo accumulator.
+
+    Maintains one {!Welford} accumulator per level of a fidelity
+    hierarchy: level 0 holds plain samples of the coarsest estimator
+    [Y_0], level [l > 0] holds samples of the coupled difference
+    [Y_l - Y_{l-1}].  The point estimate is the telescoped sum of the
+    per-level means and the interval is the CLT interval on that sum;
+    sample allocation follows the standard [n_l ∝ sqrt(V_l/C_l)] rule
+    via a deterministic greedy step.
+
+    Costs are a {e model} supplied at creation (e.g. proportional to the
+    per-level horizon), never measured wall time, so allocation and
+    stopping decisions are bit-identical across machines, replays and
+    checkpoint resumes. *)
+
+type t
+
+val create :
+  ?warmup:int -> costs:float array -> delta:float -> eps:float -> unit -> t
+(** [create ~costs ~delta ~eps ()] builds an accumulator with one level
+    per entry of [costs] (the model cost of one sample at that level,
+    all positive).  [warmup] (default 100) is the per-level sample floor
+    before the CLT machinery is trusted — the same guard the sequential
+    Chow–Robbins rule uses.  Raises [Invalid_argument] on empty or
+    non-positive costs, out-of-range [delta]/[eps], or [warmup < 2]. *)
+
+val levels : t -> int
+val delta : t -> float
+val eps : t -> float
+val warmup : t -> int
+
+val cost : t -> level:int -> float
+(** The model cost per sample at [level], as passed to {!create}. *)
+
+val feed : t -> level:int -> float -> unit
+(** Record one sample of [Y_0] (level 0) or of the coupled difference
+    [Y_l - Y_{l-1}] (level [l]). *)
+
+val samples : t -> level:int -> int
+val total_samples : t -> int
+
+val spent_cost : t -> float
+(** Total model cost of everything fed so far: [sum_l n_l * cost_l]. *)
+
+val mean : t -> float
+(** The telescoped point estimate [sum_l mean_l]. *)
+
+val half_width : t -> float
+(** CLT half-width of the telescoped sum,
+    [z_{1-delta/2} * sqrt(sum_l V_l/n_l)] with the raw sample variances;
+    [infinity] while any level is empty. *)
+
+val confidence_interval : t -> float * float
+(** [mean ± half_width]. *)
+
+val next_level : t -> int option
+(** Where the next sample should go: the first level still below its
+    warmup floor, then the level with the best variance reduction per
+    unit cost (greedy equivalent of [n_l ∝ sqrt(V_l/C_l)], ties to the
+    lowest level — fully deterministic).  [None] once the stopping
+    half-width (raw variance floored at [1/n] per level, as in
+    Chow–Robbins) is at most [eps]. *)
+
+val needs_more : t -> bool
+(** [next_level t <> None]. *)
+
+val target_samples : t -> level:int -> int
+(** The closed-form allocation target
+    [ceil((z/eps)^2 sqrt(V_l/C_l) sum_k sqrt(V_k C_k))] at the current
+    variance estimates — what the greedy rule converges to.  Diagnostic. *)
+
+val level_state : t -> level:int -> int * float * float
+(** [(n, mean, m2)] of the level's accumulator, for checkpointing. *)
+
+val restore_level : t -> level:int -> n:int -> mean:float -> m2:float -> unit
+(** Overwrite one level's accumulator from persisted state; with the
+    deterministic cost model this makes a resumed campaign's allocation
+    and stopping decisions bit-identical to an uninterrupted run. *)

@@ -35,9 +35,14 @@ let of_string s =
     | _ -> Error (Printf.sprintf "malformed welford state %S" s))
   | _ -> Error (Printf.sprintf "malformed welford state %S" s)
 
+let half_width t ~delta =
+  if t.n = 0 then infinity
+  else
+    let z = Bound.normal_quantile (1.0 -. (delta /. 2.0)) in
+    z *. stddev t /. sqrt (float_of_int t.n)
+
 let confidence_interval t ~delta =
   if t.n = 0 then (neg_infinity, infinity)
   else
-    let z = Bound.normal_quantile (1.0 -. (delta /. 2.0)) in
-    let half = z *. stddev t /. sqrt (float_of_int t.n) in
+    let half = half_width t ~delta in
     (t.mean -. half, t.mean +. half)

@@ -27,5 +27,10 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 
+val half_width : t -> delta:float -> float
+(** CLT half-width [z_{1-delta/2}·stddev/sqrt n]; [infinity] with no
+    samples.  The single home of the z-quantile logic for CLT intervals
+    on real-valued samples. *)
+
 val confidence_interval : t -> delta:float -> float * float
-(** CLT interval [mean ± z_{1-delta/2}·stddev/sqrt n]. *)
+(** CLT interval [mean ± half_width]. *)

@@ -18,6 +18,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("supervisor", Test_supervisor.suite);
       ("campaign", Test_campaign.suite);
+      ("mlmc", Test_mlmc.suite);
       ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
       ("dist", Test_dist.suite);

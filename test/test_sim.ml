@@ -435,6 +435,44 @@ let test_importance_sampling_unbiased () =
     Alcotest.(check bool) "many biased hits" true (r.Slimsim_sim.Rare.hits > 1000)
   | Error e -> Alcotest.fail (Path.error_to_string e)
 
+let test_importance_sampling_interval_is_welford () =
+  (* regression: Rare's CLT interval is exactly the Welford interval of
+     the likelihood-ratio stream — mean ± Welford.half_width, with the
+     lower end clamped at 0.  Replays the estimator's own path loop
+     (same default seed, same per-path streams) and compares bit for
+     bit. *)
+  let net = load rare_model in
+  let g = goal net "v" in
+  let bias = 1000.0 and paths = 2000 and delta = 0.05 in
+  let r =
+    match
+      Slimsim_sim.Rare.estimate net ~goal:g ~horizon:10.0 ~strategy:Strategy.Asap
+        ~bias ~paths ~delta ()
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Path.error_to_string e)
+  in
+  let w = Slimsim_stats.Welford.create () in
+  let cfg = Path.default_config ~horizon:10.0 in
+  for i = 0 to paths - 1 do
+    let rng = Rng.for_path ~seed:0x0DDBA11L ~path:i in
+    match fst (Path.generate_weighted ~bias net cfg Strategy.Asap rng ~goal:g) with
+    | Ok (Path.Sat _, ratio) -> Slimsim_stats.Welford.add w ratio
+    | Ok (_, _) -> Slimsim_stats.Welford.add w 0.0
+    | Error e -> Alcotest.failf "replay path %d failed: %s" i (Path.error_to_string e)
+  done;
+  let mean = Slimsim_stats.Welford.mean w in
+  let hw = Slimsim_stats.Welford.half_width w ~delta in
+  Alcotest.(check (float 0.0)) "probability is the Welford mean" mean
+    r.Slimsim_sim.Rare.probability;
+  Alcotest.(check (float 0.0)) "upper end is mean + half_width" (mean +. hw)
+    r.Slimsim_sim.Rare.ci_high;
+  Alcotest.(check (float 0.0)) "lower end clamped at 0"
+    (Float.max 0.0 (mean -. hw))
+    r.Slimsim_sim.Rare.ci_low;
+  Alcotest.(check (float 1e-12)) "relative error consistent" (hw /. mean)
+    r.Slimsim_sim.Rare.relative_error
+
 let test_importance_sampling_bias_one () =
   (* bias 1 must coincide with the unweighted simulator path by path *)
   let net = load (exp_model 0.1) in
@@ -691,6 +729,8 @@ let suite =
     Alcotest.test_case "scripted downgrades to one worker" `Quick test_engine_scripted_needs_one_worker;
     Alcotest.test_case "confidence interval" `Quick test_engine_ci_contains_estimate;
     Alcotest.test_case "importance sampling unbiased" `Quick test_importance_sampling_unbiased;
+    Alcotest.test_case "importance sampling interval is welford" `Quick
+      test_importance_sampling_interval_is_welford;
     Alcotest.test_case "importance sampling bias=1" `Quick test_importance_sampling_bias_one;
     Alcotest.test_case "importance sampling variance" `Quick
       test_importance_sampling_variance_reduction;

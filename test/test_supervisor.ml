@@ -345,6 +345,7 @@ let test_checkpoint_roundtrip () =
       diverged = 4;
       dropped = 5;
       leases = [ (7, 120, 184); (8, 184, 248) ];
+      mlmc = None;
     }
   in
   let file = Filename.temp_file "slimsim" ".ckpt" in
@@ -353,6 +354,43 @@ let test_checkpoint_roundtrip () =
   | Ok st' ->
     Alcotest.(check bool) "bit-identical round trip" true (st = st')
   | Error e -> Alcotest.failf "load failed: %s" e);
+  Sys.remove file;
+  (* the multilevel block round-trips bit-exactly too, %h floats and all *)
+  let st_ml =
+    {
+      st with
+      Supervisor.Checkpoint.kind = Generator.Mlmc;
+      leases = [];
+      mlmc =
+        Some
+          {
+            Supervisor.Checkpoint.ml_levels =
+              [|
+                {
+                  Supervisor.Checkpoint.l_next_path = 450;
+                  l_count = 440;
+                  l_mean = 1.0 /. 3.0;
+                  l_m2 = 97.125;
+                };
+                {
+                  Supervisor.Checkpoint.l_next_path = 60;
+                  l_count = 58;
+                  l_mean = 0.017;
+                  l_m2 = 1e-9;
+                };
+              |];
+            ml_paths = 568;
+            ml_sat = 151;
+            ml_cost = 89.5;
+          };
+    }
+  in
+  let file = Filename.temp_file "slimsim" ".ckpt" in
+  Supervisor.Checkpoint.save ~file st_ml;
+  (match Supervisor.Checkpoint.load ~file with
+  | Ok st' ->
+    Alcotest.(check bool) "mlmc block round trip" true (st_ml = st')
+  | Error e -> Alcotest.failf "mlmc load failed: %s" e);
   Sys.remove file;
   let bad = Filename.temp_file "slimsim" ".ckpt" in
   (match Supervisor.Checkpoint.load ~file:bad with
