@@ -639,6 +639,96 @@ let micro ?(quick = false) ?(json = false) () =
         chernoff_cost r.model_cost ratio;
     ]
   in
+  (* priced-STA overhead: the same fixed-N Chernoff campaign on gps
+     nominal run plain and with the E[cost] accumulator attached.  The
+     cost extraction is post-verdict and draws no randomness, so both
+     runs simulate the identical path set and the verdict counts must
+     agree exactly; the wall-clock delta is the cost of the extra
+     accumulator work.  Under Asap the measurement fires at x = 10 on
+     every path, so the mean is an exact contract, not an estimate. *)
+  let cost_rows =
+    let delta = 0.05 and eps = 0.02 in
+    let cost_var =
+      match Slimsim_props.Pattern.resolve_cost nominal_net "x" with
+      | Ok v -> v
+      | Error e -> failwith ("cost bench: " ^ e)
+    in
+    let run_plain () =
+      let generator =
+        Slimsim_stats.Generator.create Slimsim_stats.Generator.Chernoff ~delta
+          ~eps
+      in
+      match
+        Slimsim_sim.Campaign.create ~seed:42L nominal_net ~goal:nominal_goal
+          ~horizon:300.0 ~strategy:Strategy.Asap ~generator ()
+      with
+      | Error e -> failwith (Slimsim_sim.Path.error_to_string e)
+      | Ok c -> (
+        match Slimsim_sim.Campaign.drive c with
+        | Ok r -> r
+        | Error e -> failwith (Slimsim_sim.Path.error_to_string e))
+    in
+    let run_cost () =
+      match
+        Slimsim_sim.Cost_run.create ~seed:42L nominal_net ~goal:nominal_goal
+          ~horizon:300.0 ~strategy:Strategy.Asap ~cost_var
+          ~query:"E[x ; <> [0, 300] measurement]"
+          ~kind:Slimsim_stats.Generator.Chernoff ~delta ~eps ()
+      with
+      | Error e -> failwith (Slimsim_sim.Path.error_to_string e)
+      | Ok c -> (
+        match Slimsim_sim.Cost_run.drive c with
+        | Ok r -> r
+        | Error e -> failwith (Slimsim_sim.Path.error_to_string e))
+    in
+    (* interleaved best-of-3 so drift hits both variants equally *)
+    let plain_best = ref infinity and cost_best = ref infinity in
+    let last_plain = ref (run_plain ()) and last_cost = ref (run_cost ()) in
+    for _ = 1 to 3 do
+      let rp = run_plain () in
+      plain_best :=
+        Float.min !plain_best rp.Slimsim_sim.Campaign.wall_seconds;
+      last_plain := rp;
+      let rc = run_cost () in
+      cost_best :=
+        Float.min !cost_best
+          rc.Slimsim_sim.Cost_run.reach.Slimsim_sim.Campaign.wall_seconds;
+      last_cost := rc
+    done;
+    let rp = !last_plain and rc = !last_cost in
+    let open Slimsim_sim in
+    if
+      rp.Campaign.successes <> rc.Cost_run.reach.Campaign.successes
+      || rp.Campaign.paths <> rc.Cost_run.reach.Campaign.paths
+    then
+      failwith
+        (Printf.sprintf
+           "cost bench: verdict stream diverged (plain %d/%d vs cost %d/%d)"
+           rp.Campaign.successes rp.Campaign.paths
+           rc.Cost_run.reach.Campaign.successes rc.Cost_run.reach.Campaign.paths);
+    if Float.abs (rc.Cost_run.cost_mean -. 10.0) > 1e-6 then
+      failwith
+        (Printf.sprintf "cost bench: E[x] = %.9f, expected exactly 10 (Asap)"
+           rc.Cost_run.cost_mean);
+    let overhead_pct = (!cost_best -. !plain_best) /. !plain_best *. 100.0 in
+    Fmt.pr "  %-45s %11.3f s %14.1f paths/s@." "cost: gps-nominal E[x] (chernoff)"
+      !cost_best
+      (float_of_int rc.Cost_run.reach.Campaign.paths /. !cost_best);
+    Fmt.pr "  %-45s %13.4f (%d sat paths)@." "cost: E[x] at the goal"
+      rc.Cost_run.cost_mean rc.Cost_run.cost_samples;
+    Fmt.pr "  %-45s %12.1f%% vs plain reachability@." "cost: accumulator overhead"
+      overhead_pct;
+    [
+      Printf.sprintf
+        "{\"name\": \"cost:gps-nominal\", \"mean\": %.4f, \"paths\": %d, \
+         \"sat_paths\": %d, \"paths_per_sec\": %.1f, \"wall_s\": %.3f, \
+         \"overhead_pct\": %.1f, \"cores\": 1}"
+        rc.Cost_run.cost_mean rc.Cost_run.reach.Campaign.paths
+        rc.Cost_run.cost_samples
+        (float_of_int rc.Cost_run.reach.Campaign.paths /. !cost_best)
+        !cost_best overhead_pct;
+    ]
+  in
   (* distributed throughput: the same full-gps campaign driven through
      coordinator + worker processes at 1 and 2 workers.  Fixed-N
      Chernoff, so every run simulates the identical path set and the
@@ -762,7 +852,7 @@ let micro ?(quick = false) ?(json = false) () =
     let oc = open_out "BENCH_sim.json" in
     let pr fmt = Printf.fprintf oc fmt in
     pr "[\n";
-    let extra_rows = mlmc_rows @ dist_rows in
+    let extra_rows = mlmc_rows @ cost_rows @ dist_rows in
     List.iteri
       (fun i (name, ns, per_sec, wall) ->
         (* one-path kernels are single-threaded by construction *)

@@ -192,7 +192,26 @@ let lint_cmd =
 (* --- simulate --- *)
 
 let simulate_cmd =
-  let delta =
+  let prop_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "property" ] ~docv:"PROP"
+          ~doc:"Property: 'P(<> [0, u] goal)' or 'probability that goal within u'.")
+  and query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:
+            "Any query form: a property as for $(b,-p), or a priced-STA \
+             cost query over a clock or continuous variable c — \
+             cost-bounded reachability 'P(<> [c <= C] goal)', expected \
+             cost 'E[c ; <> [0, u] goal]', or the empirical cost \
+             distribution 'D[c ; <> [0, u] goal]' (mean, confidence \
+             interval, quantile table and histogram).  Use exactly one \
+             of $(b,-p) and $(b,--query).")
+  and delta =
     Arg.(value & opt float 0.05 & info [ "d"; "delta" ] ~doc:"Confidence parameter.")
   and eps =
     Arg.(value & opt float 0.01 & info [ "e"; "eps" ] ~doc:"Error bound.")
@@ -454,7 +473,7 @@ let simulate_cmd =
              with actions kill, exit, stall, corrupt, dup, delay — e.g. \
              'w1:kill@120;a0:stall@300'.")
   in
-  let run file prop strategy delta eps workers generator mlmc_levels
+  let run file prop query strategy delta eps workers generator mlmc_levels
       deadlock_error engine on_error seed no_lint max_steps max_sim_time
       max_wall_per_path on_divergence checkpoint checkpoint_every resume
       metrics log_json progress no_prepass buffer drop_stall_limit max_restarts
@@ -481,6 +500,23 @@ let simulate_cmd =
       teardown ();
       exit code
     in
+    (* -p takes the classic property path; --query additionally accepts
+       the priced-STA cost forms, and a plain probability given via
+       --query behaves exactly like -p. *)
+    let query_form =
+      match (prop, query) with
+      | Some _, Some _ ->
+        die 1 "slimsim: use exactly one of -p/--property and --query"
+      | None, None ->
+        die 1 "slimsim: a property is required: -p PROP or --query QUERY"
+      | Some p, None -> `Prop p
+      | None, Some q -> (
+        match Slimsim_props.Pattern.parse_query q with
+        | Error e -> die 1 ("slimsim: " ^ e)
+        | Ok (Slimsim_props.Pattern.Prob _) -> `Prop q
+        | Ok parsed -> `Cost (q, parsed))
+    in
+    let prop_src = match query_form with `Prop p -> p | `Cost (q, _) -> q in
     let m =
       match load file with Ok m -> m | Error e -> die 1 e
     in
@@ -509,7 +545,7 @@ let simulate_cmd =
     Log.emit ~event:"campaign_start"
       [
         ("model", Json.String file);
-        ("property", Json.String prop);
+        ("property", Json.String prop_src);
         ("strategy", Json.String (Strategy.to_string strategy));
         ("delta", Json.Float delta);
         ("eps", Json.Float eps);
@@ -532,6 +568,75 @@ let simulate_cmd =
          coupled sampler is sequential); drop one of the two flags";
     if mlmc_levels < 1 || mlmc_levels > 16 then
       die 1 "slimsim: --mlmc-levels must be between 1 and 16";
+    match query_form with
+    | `Cost (qsrc, parsed) ->
+      (* Cost queries run in one process: distribution workers and the
+         serve protocol exchange plain probability estimates and have no
+         channel for a cost accumulator. *)
+      if distribute <> None then
+        die 1
+          "slimsim: cost queries are not supported with --distribute; run \
+           them in a single process";
+      (match parsed with
+      | Slimsim_props.Pattern.Cost_expect _ | Slimsim_props.Pattern.Cost_dist _
+        ->
+        if generator = S.Generator.Mlmc then
+          die 1
+            "slimsim: --generator mlmc is not supported for E[...]/D[...] \
+             cost queries (the multilevel estimator targets a probability); \
+             use chernoff, hoeffding, gauss or chow-robbins";
+        if workers > 1 then
+          Log.warn
+            ~fields:[ ("requested_workers", Json.Int workers) ]
+            (Printf.sprintf
+               "cost accumulation drives a sequential sampler; running with \
+                workers = 1 (requested %d)"
+               workers)
+      | _ -> ());
+      (match
+         S.check_cost ~workers ~seed ~generator ~on_deadlock ~engine ~on_error
+           ~supervisor ?progress ~max_steps ?max_sim_time ?max_wall_per_path
+           ~prepass:(not no_prepass) m ~query:qsrc ~strategy ~delta ~eps ()
+       with
+      | Error e ->
+        Log.emit ~event:"campaign_error" [ ("error", Json.String e) ];
+        die 1 e
+      | Ok outcome ->
+        Fmt.pr "%a@." S.pp_cost_outcome outcome;
+        (match outcome with
+        | S.Cost_distribution r ->
+          Fmt.pr "%a" Slimsim_sim.Cost_run.pp_distribution r
+        | _ -> ());
+        let interrupted, paths, half =
+          match outcome with
+          | S.Cost_probability e ->
+            (e.S.interrupted, e.S.paths, (e.S.ci_high -. e.S.ci_low) /. 2.0)
+          | S.Cost_expected r | S.Cost_distribution r ->
+            let c = r.Slimsim_sim.Cost_run.reach in
+            ( c.Slimsim_sim.Campaign.stopped = Slimsim_sim.Campaign.Interrupted,
+              c.Slimsim_sim.Campaign.paths,
+              (r.Slimsim_sim.Cost_run.cost_ci_high
+              -. r.Slimsim_sim.Cost_run.cost_ci_low)
+              /. 2.0 )
+        in
+        if interrupted then begin
+          Log.warn
+            ~fields:
+              [
+                ("source", Json.String "interrupt");
+                ("paths", Json.Int paths);
+                ("achieved_half_width", Json.Float half);
+                ("requested_eps", Json.Float eps);
+              ]
+            (Printf.sprintf
+               "interrupted after %d paths; achieved half-width %.6f \
+                (requested %g)"
+               paths half eps);
+          teardown ();
+          exit 4
+        end
+        else teardown ())
+    | `Prop prop -> (
     match distribute with
     | Some nworkers ->
       let module Coordinator = Slimsim_dist.Coordinator in
@@ -700,7 +805,7 @@ let simulate_cmd =
       else teardown ()
     | Error e ->
       Log.emit ~event:"campaign_error" [ ("error", Json.String e) ];
-      die 1 e)
+      die 1 e))
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -712,7 +817,8 @@ let simulate_cmd =
           was printed), 5 every distributed worker was lost (a partial \
           estimate was printed).")
     Term.(
-      const run $ model_arg $ prop_arg $ strategy_arg $ delta $ eps $ workers
+      const run $ model_arg $ prop_opt $ query $ strategy_arg $ delta $ eps
+      $ workers
       $ generator $ mlmc_levels $ deadlock_error $ engine $ on_error
       $ seed_arg $ no_lint_arg
       $ max_steps $ max_sim_time $ max_wall_per_path $ on_divergence

@@ -346,6 +346,115 @@ let check_mlmc ?seed ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor
       | None -> ());
       result)
 
+(* --- priced-STA cost queries (UPPAAL-SMC style, arXiv:1207.1272) --- *)
+
+module Cost_run = Slimsim_sim.Cost_run
+
+type cost_outcome =
+  | Cost_probability of estimate
+  | Cost_expected of Cost_run.result
+  | Cost_distribution of Cost_run.result
+
+let check_cost ?workers ?seed ?(generator = Generator.Chernoff)
+    ?(on_deadlock = `Falsify) ?engine ?on_error ?supervisor ?progress
+    ?max_steps ?max_sim_time ?max_wall_per_path ?(prepass = true) (m : model)
+    ~query ~strategy ~delta ~eps () =
+  let* q = Pattern.parse_query query in
+  let finish_progress result =
+    (match progress with
+    | Some pr -> Slimsim_obs.Progress.finish pr
+    | None -> ());
+    result
+  in
+  match q with
+  | Pattern.Prob _ ->
+    let* e =
+      check ?workers ?seed ~generator ~on_deadlock ?engine ?on_error
+        ?supervisor ?progress ?max_steps ?max_sim_time ?max_wall_per_path
+        ~prepass m ~property:query ~strategy ~delta ~eps ()
+    in
+    Ok (Cost_probability e)
+  | Pattern.Cost_reach { cost_src; cost_bound; goal_src } -> (
+    (* Cost-bounded reachability is bounded until in cost space: hold
+       [c <= C], no time bound (the watchdog budgets backstop paths
+       whose cost observer stalls below the bound). *)
+    let module Expr = Slimsim_sta.Expr in
+    let* cv =
+      Pattern.resolve_cost ~enum:(enum_lookup m) m.Loader.network cost_src
+    in
+    let* goal =
+      Loader.parse_goal ~enum:(enum_lookup m) m.Loader.network goal_src
+    in
+    let hold = Expr.Binop (Expr.Le, Expr.var cv, Expr.real cost_bound) in
+    let horizon = infinity in
+    let config =
+      make_config ?max_steps ?max_sim_time ?max_wall_per_path ~on_deadlock
+        ~horizon ()
+    in
+    match
+      prepass_shortcut ~prepass ~strategy ~hold ~config ~max_wall_per_path m
+        ~goal
+    with
+    | Some shortcut ->
+      Ok (Cost_probability (exact_estimate ~complement:false shortcut))
+    | None -> (
+      let gen = Generator.create generator ~delta ~eps in
+      match
+        Campaign.create ?workers ?seed ~config ?engine ?on_error ~hold
+          ?supervisor ?progress m.Loader.network ~goal ~horizon ~strategy
+          ~generator:gen ()
+      with
+      | Error e -> Error (Path.error_to_string e)
+      | Ok c ->
+        finish_progress
+          (match Campaign.drive c with
+          | Ok r ->
+            Ok
+              (Cost_probability
+                 (estimate_of_result
+                    { campaign = c; complement = false; horizon }
+                    r))
+          | Error e -> Error (Path.error_to_string e))))
+  | Pattern.Cost_expect { cost_src; prob } | Pattern.Cost_dist { cost_src; prob }
+    -> (
+    let dist = match q with Pattern.Cost_dist _ -> true | _ -> false in
+    let* cv =
+      Pattern.resolve_cost ~enum:(enum_lookup m) m.Loader.network cost_src
+    in
+    let* goal, hold, horizon =
+      Pattern.resolve ~enum:(enum_lookup m) m.Loader.network prob
+    in
+    let config =
+      make_config ?max_steps ?max_sim_time ?max_wall_per_path ~on_deadlock
+        ~horizon ()
+    in
+    (* A P=0 certificate means no path ever reaches the goal: the
+       conditional expectation is undefined and sampling can only stall.
+       A P=1 certificate does NOT shortcut — the cost values still have
+       to be sampled. *)
+    match
+      prepass_shortcut ~prepass ~strategy ?hold ~config ~max_wall_per_path m
+        ~goal
+    with
+    | Some (p, _) when p = 0.0 ->
+      Error
+        (Printf.sprintf
+           "expected cost undefined: the pre-pass certifies P = 0 for %s — \
+            no path ever reaches the goal"
+           (Pattern.to_string prob))
+    | _ -> (
+      match
+        Cost_run.create ?seed ~config ?engine ?on_error ?hold ?supervisor
+          ?progress m.Loader.network ~goal ~horizon ~strategy ~cost_var:cv
+          ~query:(Pattern.query_to_string q) ~kind:generator ~delta ~eps ()
+      with
+      | Error e -> Error (Path.error_to_string e)
+      | Ok t ->
+        finish_progress
+          (match Cost_run.drive t with
+          | Ok r -> Ok (if dist then Cost_distribution r else Cost_expected r)
+          | Error e -> Error (Path.error_to_string e))))
+
 type exact = {
   exact_probability : float;
   states : int;
@@ -427,3 +536,7 @@ let pp_estimate ppf e =
 let pp_exact ppf e =
   Fmt.pf ppf "p = %.9f (%d states, %d after lumping, %.2fs)" e.exact_probability
     e.states e.lumped_states e.analysis_seconds
+
+let pp_cost_outcome ppf = function
+  | Cost_probability e -> pp_estimate ppf e
+  | Cost_expected r | Cost_distribution r -> Cost_run.pp_result ppf r

@@ -230,6 +230,66 @@ val lint_property :
     a concrete invariant violation).  Inconclusive outcomes produce no
     diagnostic; an unparseable property is reported as an error. *)
 
+(** {1 Priced-STA cost queries}
+
+    UPPAAL-SMC-style queries over a cost observer — any clock or
+    continuous variable of the model (constant derivatives per mode, so
+    linear advance makes its value at a crossing exact):
+
+    - [P(<> [c <= C] goal)] — cost-bounded reachability, checked as a
+      bounded until with hold [c <= C] and no time bound
+    - [E[c ; <> [0,u] goal]] — the expected value of [c] at the first
+      goal crossing, over paths that reach the goal in time
+    - [D[c ; <> [0,u] goal]] — the empirical distribution of the same
+      quantity (mean, CI, quantiles, histogram)
+
+    Plain probability queries are accepted too and behave exactly like
+    {!check}. *)
+
+type cost_outcome =
+  | Cost_probability of estimate
+      (** a [P(...)] form — plain or cost-bounded reachability *)
+  | Cost_expected of Slimsim_sim.Cost_run.result  (** an [E[...]] query *)
+  | Cost_distribution of Slimsim_sim.Cost_run.result
+      (** a [D[...]] query; render with
+          {!Slimsim_sim.Cost_run.pp_distribution} *)
+
+val check_cost :
+  ?workers:int ->
+  ?seed:int64 ->
+  ?generator:Generator.kind ->
+  ?on_deadlock:[ `Error | `Falsify ] ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  ?on_error:[ `Abort | `Unsat ] ->
+  ?supervisor:Slimsim_sim.Supervisor.t ->
+  ?progress:Slimsim_obs.Progress.t ->
+  ?max_steps:int ->
+  ?max_sim_time:float ->
+  ?max_wall_per_path:float ->
+  ?prepass:bool ->
+  model ->
+  query:string ->
+  strategy:Strategy.t ->
+  delta:float ->
+  eps:float ->
+  unit ->
+  (cost_outcome, string) result
+(** Check any query form ({!Slimsim_props.Pattern.parse_query}).
+    Parameters are those of {!check}.  [P] forms route through the
+    classic campaign (cost-bounded reachability constructs the hold
+    [c <= C] and runs with an unbounded horizon — the watchdog budgets
+    backstop paths whose cost observer stalls under the bound; the
+    qualitative pre-pass applies as in {!check}).  [E]/[D] forms run
+    the sequential {!Slimsim_sim.Cost_run} driver: [workers] is
+    ignored, [generator] must not be [Mlmc], and a pre-pass P=0
+    certificate is reported as an error (the conditional expectation is
+    undefined when no path can reach the goal). *)
+
+val pp_cost_outcome : Format.formatter -> cost_outcome -> unit
+(** {!pp_estimate} for probability forms, [Cost_run.pp_result] for
+    cost forms ([D] callers typically also print
+    {!Slimsim_sim.Cost_run.pp_distribution}). *)
+
 type exact = {
   exact_probability : float;
   states : int;

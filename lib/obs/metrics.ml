@@ -25,8 +25,12 @@ let n_buckets = 64
 let bucket_of v =
   if v <= 0.0 then 0
   else
-    let e = snd (Float.frexp v) in
-    (* v in (2^(e-1), 2^e] up to the half-open convention of frexp *)
+    let m, e = Float.frexp v in
+    (* frexp returns v = m * 2^e with m in [0.5, 1), so an exact power
+       of two 2^k arrives as (0.5, k+1) — but the bucket bounds are
+       inclusive above, so 2^k belongs in the bucket whose le is 2^k,
+       one below the generic e + 32. *)
+    let e = if m = 0.5 then e - 1 else e in
     let i = e + 32 in
     if i < 1 then 1 else if i > n_buckets - 1 then n_buckets - 1 else i
 
@@ -138,12 +142,31 @@ let reset () =
    one line per series, histogram buckets cumulative.  Empty buckets
    are elided — cumulative counts stay correct at every printed le. *)
 
+(* Label values follow the Prometheus exposition rules: only backslash,
+   double quote and newline are escaped; everything else — tabs, UTF-8
+   multi-byte sequences — passes through verbatim.  OCaml's %S would
+   emit decimal escapes like \009 and per-byte escapes for UTF-8, which
+   scrapers reject. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b {|\\|}
+      | '"' -> Buffer.add_string b {|\"|}
+      | '\n' -> Buffer.add_string b {|\n|}
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
 let label_string labels =
   if labels = [] then ""
   else
     "{"
     ^ String.concat ","
-        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
     ^ "}"
 
 let with_label labels k v =

@@ -18,6 +18,20 @@ type counter
 type gauge
 type histogram
 
+val n_buckets : int
+(** Number of histogram buckets (64): bucket 0 holds observations
+    [<= 0], bucket [i] in 1..62 holds [(2^(i-33), 2^(i-32)]], bucket 63
+    is the overflow. *)
+
+val bucket_of : float -> int
+(** The bucket index an observation lands in.  Bucket upper bounds are
+    inclusive: an exact power of two [2^k] lands in the bucket whose
+    {!bucket_upper} is [2^k]. *)
+
+val bucket_upper : int -> string
+(** Upper bound (inclusive) of bucket [i], formatted as a Prometheus
+    [le] label value ("0", "%g", or "+Inf"). *)
+
 val set_enabled : bool -> unit
 (** Master switch, default [false].  Enable before the campaign starts
     (the engine and path generators read it when workers spawn). *)

@@ -64,7 +64,13 @@ let parse_csl s =
           | [ lo; hi ] -> (
             match float_of_string_opt (strip lo), float_of_string_opt (strip hi) with
             | Some lo, Some hi ->
-              if lo <> 0.0 then fail "the interval must start at 0"
+              (* float_of_string accepts "nan" and "inf", and nan
+                 compares false against everything, so the sign checks
+                 below would let a NaN horizon through to the
+                 simulator.  Reject non-finite bounds explicitly. *)
+              if not (Float.is_finite lo && Float.is_finite hi) then
+                fail "the time bounds must be finite"
+              else if lo <> 0.0 then fail "the interval must start at 0"
               else if hi <= 0.0 then fail "the time bound must be positive"
               else if goal_src = "" then fail "missing goal expression"
               else Ok { goal_src; hold_src; horizon = hi; complement }
@@ -94,6 +100,8 @@ let parse_pattern_with marker complement s =
       let goal_src = strip (String.sub rest 0 i) in
       let bound = strip (String.sub rest (i + String.length marker) (String.length rest - i - String.length marker)) in
       match float_of_string_opt bound with
+      | Some horizon when not (Float.is_finite horizon) ->
+        Error "the time bound must be finite"
       | Some horizon when horizon > 0.0 && goal_src <> "" ->
         Ok { goal_src; hold_src = None; horizon; complement }
       | Some _ -> Error "the time bound must be positive"
@@ -115,6 +123,130 @@ let parse s =
         (Printf.sprintf "cannot parse property (as CSL: %s; as pattern: %s)"
            csl_err pat_err))
 
+(* ------------------------------------------------------------------ *)
+(* Priced-STA query forms (UPPAAL-SMC style): a cost observer is any
+   clock or continuous variable of the model; the query language gains
+   cost-bounded reachability, expected cost and distribution output. *)
+
+type query =
+  | Prob of t
+  | Cost_reach of { cost_src : string; cost_bound : float; goal_src : string }
+  | Cost_expect of { cost_src : string; prob : t }
+  | Cost_dist of { cost_src : string; prob : t }
+
+(* Find the last occurrence of "<=" in [s] (the split point of
+   "cost-expr <= C": the rightmost comparison owns the numeric
+   bound). *)
+let rfind_le s =
+  let n = String.length s in
+  let rec scan i acc =
+    if i + 1 >= n then acc
+    else if s.[i] = '<' && s.[i + 1] = '=' then scan (i + 2) (Some i)
+    else scan (i + 1) acc
+  in
+  scan 0 None
+
+(* "P(<> [cost <= C] goal)" — recognized by a '<=' (and no ',') inside
+   the bracket where the classic form carries a "lo, hi" time interval.
+   Returns [None] when the input is not this form at all (fall through
+   to the classic parsers). *)
+let parse_cost_reach s =
+  let s = strip s in
+  let n = String.length s in
+  if not (n > 2 && (s.[0] = 'P' || s.[0] = 'p') && s.[1] = '(' && s.[n - 1] = ')')
+  then None
+  else begin
+    let body = strip (String.sub s 2 (n - 3)) in
+    if not (String.length body > 2 && String.sub body 0 2 = "<>") then None
+    else begin
+      let body = strip (String.sub body 2 (String.length body - 2)) in
+      if String.length body = 0 || body.[0] <> '[' then None
+      else
+        match String.index_opt body ']' with
+        | None -> None
+        | Some close ->
+          let bracket = String.sub body 1 (close - 1) in
+          if String.contains bracket ',' || rfind_le bracket = None then None
+          else begin
+            let i = Option.get (rfind_le bracket) in
+            let cost_src = strip (String.sub bracket 0 i) in
+            let bound_str =
+              strip (String.sub bracket (i + 2) (String.length bracket - i - 2))
+            in
+            let goal_src =
+              strip (String.sub body (close + 1) (String.length body - close - 1))
+            in
+            Some
+              (if cost_src = "" then Error "missing cost expression"
+               else if goal_src = "" then Error "missing goal expression"
+               else
+                 match float_of_string_opt bound_str with
+                 | None -> Error ("malformed cost bound: " ^ bound_str)
+                 | Some c when not (Float.is_finite c) ->
+                   Error "the cost bound must be finite"
+                 | Some c when c <= 0.0 -> Error "the cost bound must be positive"
+                 | Some c ->
+                   Ok (Cost_reach { cost_src; cost_bound = c; goal_src }))
+          end
+    end
+  end
+
+(* "E[cost ; <> [0, u] goal]" / "D[cost ; <> [0, u] goal]": the part
+   after the top-level ';' is any reachability or until formula the
+   classic parser accepts (invariance is rejected — a cost at a
+   never-happening event has no value to report). *)
+let parse_expect_dist s =
+  let s = strip s in
+  let n = String.length s in
+  let tag = if n > 0 then Char.uppercase_ascii s.[0] else ' ' in
+  if not (n > 3 && (tag = 'E' || tag = 'D') && s.[1] = '[' && s.[n - 1] = ']')
+  then None
+  else begin
+    let body = String.sub s 2 (n - 3) in
+    (* first ';' outside any bracket or paren nesting *)
+    let rec find_semi i depth =
+      if i >= String.length body then None
+      else
+        match body.[i] with
+        | '(' | '[' -> find_semi (i + 1) (depth + 1)
+        | ')' | ']' -> find_semi (i + 1) (depth - 1)
+        | ';' when depth = 0 -> Some i
+        | _ -> find_semi (i + 1) depth
+    in
+    Some
+      (match find_semi 0 0 with
+      | None ->
+        Error
+          (Printf.sprintf "expected '%c[cost ; <> [0, u] goal]'" tag)
+      | Some i ->
+        let cost_src = strip (String.sub body 0 i) in
+        let formula =
+          strip (String.sub body (i + 1) (String.length body - i - 1))
+        in
+        if cost_src = "" then Error "missing cost expression"
+        else
+          match parse_csl ("P(" ^ formula ^ ")") with
+          | Error e -> Error e
+          | Ok p when p.complement ->
+            Error
+              "cost queries take a reachability or until formula, not an \
+               invariance"
+          | Ok prob ->
+            if tag = 'E' then Ok (Cost_expect { cost_src; prob })
+            else Ok (Cost_dist { cost_src; prob }))
+  end
+
+let parse_query s =
+  match parse_expect_dist s with
+  | Some r -> r
+  | None -> (
+    match parse_cost_reach s with
+    | Some r -> r
+    | None -> (
+      match parse s with
+      | Ok p -> Ok (Prob p)
+      | Error e -> Error e))
+
 let resolve ?enum network t =
   match Slimsim_slim.Loader.parse_goal ?enum network t.goal_src with
   | Error e -> Error e
@@ -127,8 +259,42 @@ let resolve ?enum network t =
       | Ok hold -> Ok (goal, Some hold, t.horizon)
       | Error e -> Error e))
 
+(* A cost observer must resolve to a single clock or continuous
+   variable: its value is maintained exactly by the linear-advance rule,
+   which is what makes post-verdict cost extraction exact. *)
+let resolve_cost ?enum network src =
+  let open Slimsim_sta in
+  match Slimsim_slim.Loader.parse_goal ?enum network src with
+  | Error e -> Error e
+  | Ok (Expr.Var v) -> (
+    match network.Network.vars.(v).Network.kind with
+    | Network.Clock | Network.Continuous -> Ok v
+    | Network.Discrete ->
+      Error
+        (Printf.sprintf
+           "cost variable %s is discrete; a cost observer must be a clock or \
+            a continuous variable"
+           (Network.var_name network v)))
+  | Ok _ ->
+    Error
+      (Printf.sprintf
+         "cost %S must name a single clock or continuous variable" src)
+
 let to_string t =
   match t.hold_src, t.complement with
   | None, false -> Printf.sprintf "P(<> [0, %g] %s)" t.horizon t.goal_src
   | None, true -> Printf.sprintf "P([] [0, %g] %s)" t.horizon t.goal_src
   | Some h, _ -> Printf.sprintf "P(%s U [0, %g] %s)" h t.horizon t.goal_src
+
+let query_to_string = function
+  | Prob p -> to_string p
+  | Cost_reach { cost_src; cost_bound; goal_src } ->
+    Printf.sprintf "P(<> [%s <= %g] %s)" cost_src cost_bound goal_src
+  | Cost_expect { cost_src; prob } ->
+    Printf.sprintf "E[%s ; %s]" cost_src
+      (let s = to_string prob in
+       String.sub s 2 (String.length s - 3))
+  | Cost_dist { cost_src; prob } ->
+    Printf.sprintf "D[%s ; %s]" cost_src
+      (let s = to_string prob in
+       String.sub s 2 (String.length s - 3))

@@ -29,6 +29,45 @@ type t = {
 
 val parse : string -> (t, string) result
 
+(** {1 Priced-STA queries}
+
+    UPPAAL-SMC-style cost queries (PAPERS.md, arXiv:1207.1272) over a
+    cost observer [c] — any clock or continuous variable of the model:
+
+    - cost-bounded reachability: [P(<> [c <= C] goal)] — the
+      probability that the goal is reached while the accumulated cost
+      stays at most [C] (no time bound; the watchdog budgets backstop
+      non-terminating paths)
+    - expected cost: [E[c ; <> [0, u] goal]] — the mean value of [c] at
+      the first goal crossing, over the paths that reach the goal
+      within [u]
+    - cost distribution: [D[c ; <> [0, u] goal]] — the full empirical
+      distribution (mean, CI, quantile table, histogram) of the same
+      quantity *)
+
+type query =
+  | Prob of t  (** a classic probability query *)
+  | Cost_reach of { cost_src : string; cost_bound : float; goal_src : string }
+  | Cost_expect of { cost_src : string; prob : t }
+  | Cost_dist of { cost_src : string; prob : t }
+
+val parse_query : string -> (query, string) result
+(** Parse any accepted query form; plain probability queries fall
+    through to {!parse}, so every input {!parse} accepts yields
+    [Prob _].  Cost bounds must be finite and positive, like time
+    bounds. *)
+
+val query_to_string : query -> string
+
+val resolve_cost :
+  ?enum:(string -> int option) ->
+  Slimsim_sta.Network.t ->
+  string ->
+  (int, string) result
+(** Resolve a cost expression to the index of a clock or continuous
+    variable; anything else — a discrete variable, a compound
+    expression — is an error. *)
+
 val resolve :
   ?enum:(string -> int option) ->
   Slimsim_sta.Network.t ->

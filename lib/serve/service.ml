@@ -285,6 +285,19 @@ let handle_submit st fd (s : Protocol.submit) =
     match resolved with
     | Error e -> reject e
     | Ok (entry, hit) -> (
+      (* The serve protocol exchanges probability estimates; a cost
+         query's accumulator has no channel here.  Reject explicitly so
+         the client gets a pointed message rather than a parse error. *)
+      let cost_query =
+        match Slimsim_props.Pattern.parse_query s.property with
+        | Ok (Slimsim_props.Pattern.Prob _) | Error _ -> false
+        | Ok _ -> true
+      in
+      if cost_query then
+        reject
+          "cost queries (P(<> [c <= C] ...), E[...], D[...]) are not \
+           supported in serve mode; run them with 'slimsim simulate --query'"
+      else
       let sup = Supervisor.create ~on_divergence:s.on_divergence () in
       let workers = max 1 (min s.workers st.cfg.max_workers) in
       match

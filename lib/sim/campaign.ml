@@ -247,6 +247,7 @@ let checkpoint_state gen tally ~seed ~next_path =
     dropped = tally.dropped;
     leases = [];
     mlmc = None;
+    cost = None;
   }
 
 (* One checkpoint write, observed: the save is counted and timed, the
@@ -322,6 +323,11 @@ let resume_base sup gen tally ~seed =
               (Path.Model_error
                  "cannot resume: checkpoint carries multilevel (mlmc) state; \
                   resume it with --generator mlmc")
+          else if st.cost <> None then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint carries cost-accumulator state; \
+                  resume it with the same cost query")
           else begin
             Generator.restore gen ~trials:st.trials ~successes:st.successes;
             tally.deadlocks <- st.deadlocks;
@@ -331,6 +337,66 @@ let resume_base sup gen tally ~seed =
             tally.dropped <- st.dropped;
             Ok st.next_path
           end)
+
+(* Resume validation for a priced (cost) campaign: the same base checks,
+   plus the cost block must be present and carry the same canonical
+   query — a cost accumulator is meaningless under a different cost
+   variable or formula.  Returns the resume cursor and the block. *)
+let resume_cost sup gen tally ~seed ~query =
+  if not sup.Supervisor.resume then Ok (0, None)
+  else
+    match sup.Supervisor.checkpoint with
+    | None ->
+      Error (Path.Model_error "resume requested without a checkpoint file")
+    | Some { Supervisor.file; _ } ->
+      if not (Sys.file_exists file) then Ok (0, None)
+      else (
+        match Supervisor.Checkpoint.load ~file with
+        | Error msg -> Error (Path.Model_error ("cannot resume: " ^ msg))
+        | Ok st ->
+          if st.Supervisor.Checkpoint.seed <> seed then
+            Error
+              (Path.Model_error
+                 (Printf.sprintf
+                    "cannot resume: checkpoint was taken with seed %Ld, not %Ld"
+                    st.Supervisor.Checkpoint.seed seed))
+          else if st.kind <> Generator.kind gen then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint was taken with a different \
+                  statistical generator")
+          else if st.delta <> Generator.delta gen || st.eps <> Generator.eps gen
+          then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint was taken with different delta/eps")
+          else if st.mlmc <> None then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint carries multilevel (mlmc) state; \
+                  resume it with --generator mlmc")
+          else (
+            match st.cost with
+            | None ->
+              Error
+                (Path.Model_error
+                   "cannot resume: checkpoint has no cost-accumulator state \
+                    (it was taken by a plain reachability campaign)")
+            | Some c when c.Supervisor.Checkpoint.c_query <> query ->
+              Error
+                (Path.Model_error
+                   (Printf.sprintf
+                      "cannot resume: checkpoint was taken for query %s, not \
+                       %s"
+                      c.Supervisor.Checkpoint.c_query query))
+            | Some c ->
+              Generator.restore gen ~trials:st.trials ~successes:st.successes;
+              tally.deadlocks <- st.deadlocks;
+              tally.violated <- st.violated;
+              tally.errors <- st.errors;
+              tally.diverged <- st.diverged;
+              tally.dropped <- st.dropped;
+              Ok (st.next_path, Some c)))
 
 (* A runner factory: called once per worker (inside that worker's
    domain, so per-worker scratch is domain-local), yielding the

@@ -181,6 +181,19 @@ val resume_base :
     the checkpoint file and return the resume cursor (0 on a fresh
     start; [Error] on an incompatible or unreadable checkpoint). *)
 
+val resume_cost :
+  Supervisor.t ->
+  Slimsim_stats.Generator.t ->
+  tally ->
+  seed:int64 ->
+  query:string ->
+  (int * Supervisor.Checkpoint.cost_state option, Path.error) Result.t
+(** {!resume_base} for a priced campaign: the same base checks, plus
+    the checkpoint must carry a cost block for the same canonical
+    [query] (cross-resume between classic, multilevel and cost
+    checkpoints is rejected).  Returns the cursor and the block to
+    restore the cost accumulator from ([None] on a fresh start). *)
+
 val make_runner :
   engine:[ `Compiled | `Interpreted ] ->
   seed:int64 ->

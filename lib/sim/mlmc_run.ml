@@ -134,6 +134,7 @@ let checkpoint_state t =
           ml_sat = t.sat;
           ml_cost = t.cost;
         };
+    cost = None;
   }
 
 let save_checkpoint t =
@@ -178,6 +179,11 @@ let resume_state sup ~seed ~delta ~eps ~levels =
             Error
               (Path.Model_error
                  "cannot resume: checkpoint was taken with different delta/eps")
+          else if st.cost <> None then
+            Error
+              (Path.Model_error
+                 "cannot resume: checkpoint carries cost-accumulator state; \
+                  resume it with the same cost query")
           else (
             match st.mlmc with
             | None ->

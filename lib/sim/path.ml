@@ -145,7 +145,7 @@ type decision =
    surviving it contributes e^{(bias-1)·L·d}, and a rate transition
    firing at d additionally contributes 1/bias. *)
 let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
-    ?bias_of ?obs net cfg strategy rng ~goal =
+    ?bias_of ?obs ?cost net cfg strategy rng ~goal =
   if bias <= 0.0 then invalid_arg "Path.generate_weighted: bias must be positive";
   let factor =
     match bias_of with
@@ -484,6 +484,19 @@ let generate_weighted ?(record = false) ?(hold = Expr.true_) ?(bias = 1.0)
     | Value.Type_error msg -> Error (Model_error ("type error: " ^ msg))
     | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg))
   in
+  (* Cost extraction is purely post-verdict: on [Sat t] the loop never
+     advanced [state] past the step in which the crossing was found, so
+     the cost variable's value at the crossing is its step-start value
+     plus rate × (t - step-start time) — the same linear-advance rule
+     [State.advance] applies, and [rate_array] is a pure function of the
+     step-start state.  No RNG draw, no control-flow change: verdict
+     streams with and without [cost] are identical by construction. *)
+  (match cost, result with
+  | Some (cv, out), Ok (Sat t, _) ->
+    let s = !state in
+    let rates = State.rate_array net s in
+    out := Value.as_float (State.env s cv) +. (rates.(cv) *. (t -. s.State.time))
+  | _ -> ());
   (match obs with
   | Some o ->
     Metrics.observe o.obs_steps (float_of_int !step_n);
@@ -534,7 +547,7 @@ let until_crossing_c c s q ~eps ~cap =
     | None, None -> None
   end
 
-let generate_compiled ?obs c s q cfg strategy rng =
+let generate_compiled ?obs ?cost c s q cfg strategy rng =
   match strategy with
   | Strategy.Scripted _ ->
     Error (Model_error "scripted strategies require the interpreted engine")
@@ -733,6 +746,18 @@ let generate_compiled ?obs c s q cfg strategy rng =
     | Value.Type_error msg -> Error (Model_error ("type error: " ^ msg))
     | Linear.Nonlinear msg -> Error (Model_error ("non-linear dynamics: " ^ msg))
     in
+    (* Post-verdict cost extraction, mirroring [generate_weighted]: on
+       [Sat t] the scratch still holds the step-start state, and the
+       rate vector is current for it whenever t exceeds the step-start
+       time (the crossing came from [until_crossing_c], which runs
+       after [set_rates]); at t = step-start time the dt factor is 0
+       and the possibly stale rate is irrelevant. *)
+    (match cost, result with
+    | Some (cv, out), Ok (Sat t) ->
+      out :=
+        Compiled.var_float s cv
+        +. (Compiled.rate s cv *. (t -. Compiled.time s))
+    | _ -> ());
     (match obs with
     | Some o ->
       Metrics.observe o.obs_steps (float_of_int !step_n);
@@ -740,9 +765,9 @@ let generate_compiled ?obs c s q cfg strategy rng =
     | None -> ());
     result)
 
-let generate ?record ?hold ?obs net cfg strategy rng ~goal =
+let generate ?record ?hold ?obs ?cost net cfg strategy rng ~goal =
   let result, steps =
-    generate_weighted ?record ?hold ?obs net cfg strategy rng ~goal
+    generate_weighted ?record ?hold ?obs ?cost net cfg strategy rng ~goal
   in
   (Result.map fst result, steps)
 

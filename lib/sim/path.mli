@@ -95,6 +95,7 @@ val generate :
   ?record:bool ->
   ?hold:Expr.t ->
   ?obs:obs ->
+  ?cost:int * float ref ->
   Network.t ->
   config ->
   Strategy.t ->
@@ -106,7 +107,15 @@ val generate :
     non-trivial [hold] checks the bounded until [hold U [0,u] goal]
     (the goal must be reached while [hold] stays true — the CSL
     extension named as future work in §VII).  The step list is empty
-    unless [record] is set. *)
+    unless [record] is set.
+
+    [cost = (v, cell)] designates variable [v] as a cost observer: on a
+    [Sat t] verdict, [cell] receives the exact value of [v] at the
+    crossing instant [t] (step-start value plus rate × dt under the
+    linear semantics — the same rule [State.advance] applies).  The
+    extraction runs after the verdict is decided, draws nothing from
+    the RNG and touches no simulation state, so verdict streams with
+    and without [cost] are bit-identical. *)
 
 val generate_weighted :
   ?record:bool ->
@@ -114,6 +123,7 @@ val generate_weighted :
   ?bias:float ->
   ?bias_of:(int -> int -> float) ->
   ?obs:obs ->
+  ?cost:int * float ref ->
   Network.t ->
   config ->
   Strategy.t ->
@@ -148,6 +158,7 @@ val compile_query : ?hold:Expr.t -> Compiled.t -> goal:Expr.t -> compiled_query
 
 val generate_compiled :
   ?obs:obs ->
+  ?cost:int * float ref ->
   Compiled.t ->
   Compiled.cstate ->
   compiled_query ->

@@ -83,6 +83,21 @@ module Checkpoint = struct
     ml_cost : float;  (* model cost spent, full-resolution-path units *)
   }
 
+  (* A cost campaign's accumulator: the Welford state of the sat-path
+     costs, the observed range, and the 64 log2 histogram buckets
+     ([Slimsim_obs.Metrics.bucket_of] convention) that back the quantile
+     table — enough to resume bit-identically without storing raw
+     samples. *)
+  type cost_state = {
+    c_query : string;  (* canonical query; a resume must match it *)
+    c_count : int;  (* sat paths folded into the accumulator *)
+    c_mean : float;
+    c_m2 : float;
+    c_min : float;
+    c_max : float;
+    c_buckets : int array;
+  }
+
   type state = {
     seed : int64;
     kind : Generator.kind;
@@ -100,6 +115,9 @@ module Checkpoint = struct
     mlmc : mlmc_state option;
         (* trailing optional block: absent for classic campaigns, so
            files they write stay byte-identical to earlier builds *)
+    cost : cost_state option;
+        (* the other optional trailing block; mutually exclusive with
+           [mlmc] — a campaign is multilevel or priced, never both *)
   }
 
   let magic = "slimsim-checkpoint"
@@ -131,7 +149,7 @@ module Checkpoint = struct
         List.iter
           (fun (id, lo, hi) -> Printf.fprintf oc "lease %d %d %d\n" id lo hi)
           st.leases;
-        match st.mlmc with
+        (match st.mlmc with
         | None -> ()
         | Some m ->
           Printf.fprintf oc "mlmc %d %d %d %h\n" (Array.length m.ml_levels)
@@ -141,6 +159,15 @@ module Checkpoint = struct
               Printf.fprintf oc "mlmc-level %d %d %h %h\n" l.l_next_path
                 l.l_count l.l_mean l.l_m2)
             m.ml_levels);
+        match st.cost with
+        | None -> ()
+        | Some c ->
+          Printf.fprintf oc "cost %d %h %h %h %h\n" c.c_count c.c_mean c.c_m2
+            c.c_min c.c_max;
+          Printf.fprintf oc "cost-query %s\n" c.c_query;
+          Printf.fprintf oc "cost-buckets";
+          Array.iter (fun n -> Printf.fprintf oc " %d" n) c.c_buckets;
+          Printf.fprintf oc "\n");
     Unix.rename tmp file
 
   (* The header is "<magic-word> <version>".  The magic word and the
@@ -206,13 +233,14 @@ module Checkpoint = struct
                       Scanf.sscanf (line ()) "lease %d %d %d" (fun a b c ->
                           (a, b, c)))
                 in
-                (* The mlmc block is optional and trailing: EOF here is a
-                   classic (non-multilevel) checkpoint, not a truncated
-                   one. *)
-                let mlmc =
+                (* The mlmc / cost blocks are optional and trailing: EOF
+                   here is a classic checkpoint, not a truncated one.
+                   The first word of the trailing line says which block
+                   follows; they are mutually exclusive. *)
+                let mlmc, cost =
                   match (try Some (line ()) with End_of_file -> None) with
-                  | None -> None
-                  | Some l ->
+                  | None -> (None, None)
+                  | Some l when String.length l > 5 && String.sub l 0 5 = "mlmc " ->
                     let n_levels, ml_paths, ml_sat, ml_cost =
                       Scanf.sscanf l "mlmc %d %d %d %h" (fun a b c d ->
                           (a, b, c, d))
@@ -229,7 +257,41 @@ module Checkpoint = struct
                                 l_m2 = d;
                               }))
                     in
-                    Some { ml_levels; ml_paths; ml_sat; ml_cost }
+                    (Some { ml_levels; ml_paths; ml_sat; ml_cost }, None)
+                  | Some l when String.length l > 5 && String.sub l 0 5 = "cost " ->
+                    let c_count, c_mean, c_m2, c_min, c_max =
+                      Scanf.sscanf l "cost %d %h %h %h %h" (fun a b c d e ->
+                          (a, b, c, d, e))
+                    in
+                    let qline = line () in
+                    let qprefix = "cost-query " in
+                    if
+                      String.length qline <= String.length qprefix
+                      || String.sub qline 0 (String.length qprefix) <> qprefix
+                    then failwith "expected a cost-query line";
+                    let c_query =
+                      String.sub qline (String.length qprefix)
+                        (String.length qline - String.length qprefix)
+                    in
+                    let bline = line () in
+                    let bprefix = "cost-buckets" in
+                    if
+                      String.length bline < String.length bprefix
+                      || String.sub bline 0 (String.length bprefix) <> bprefix
+                    then failwith "expected a cost-buckets line";
+                    let c_buckets =
+                      String.sub bline (String.length bprefix)
+                        (String.length bline - String.length bprefix)
+                      |> String.split_on_char ' '
+                      |> List.filter (fun s -> s <> "")
+                      |> List.map (fun s ->
+                             match int_of_string_opt s with
+                             | Some n -> n
+                             | None -> failwith "malformed cost bucket count")
+                      |> Array.of_list
+                    in
+                    (None, Some { c_query; c_count; c_mean; c_m2; c_min; c_max; c_buckets })
+                  | Some _ -> failwith "unrecognized trailing checkpoint block"
                 in
                 let mlmc_consistent =
                   match mlmc with
@@ -244,12 +306,27 @@ module Checkpoint = struct
                            && l.l_m2 >= 0.0)
                          m.ml_levels
                 in
+                let cost_consistent =
+                  match cost with
+                  | None -> true
+                  | Some c ->
+                    c.c_count >= 0
+                    && Float.is_finite c.c_m2 && c.c_m2 >= 0.0
+                    && (c.c_count = 0
+                       || Float.is_finite c.c_mean
+                          && Float.is_finite c.c_min
+                          && Float.is_finite c.c_max
+                          && c.c_min <= c.c_max)
+                    && Array.length c.c_buckets = 64
+                    && Array.for_all (fun n -> n >= 0) c.c_buckets
+                    && Array.fold_left ( + ) 0 c.c_buckets = c.c_count
+                in
                 if
                   trials < 0 || successes < 0 || successes > trials
                   || next_path < 0 || deadlocks < 0 || violated < 0
                   || errors < 0 || diverged < 0 || dropped < 0
                   || List.exists (fun (_, lo, hi) -> lo < 0 || hi < lo) leases
-                  || not mlmc_consistent
+                  || not mlmc_consistent || not cost_consistent
                 then Error "inconsistent checkpoint counters"
                 else
                   Ok
@@ -268,6 +345,7 @@ module Checkpoint = struct
                       dropped;
                       leases;
                       mlmc;
+                      cost;
                     }
               end
           end)

@@ -122,6 +122,22 @@ module Checkpoint : sig
     ml_cost : float;  (** model cost spent, full-resolution-path units *)
   }
 
+  type cost_state = {
+    c_query : string;
+        (** canonical form of the cost query; a resume under a different
+            query is rejected *)
+    c_count : int;  (** sat paths folded into the accumulator *)
+    c_mean : float;
+    c_m2 : float;  (** Welford state of the sat-path costs ([%h] on disk) *)
+    c_min : float;
+    c_max : float;
+        (** observed range; [+inf]/[-inf] while [c_count = 0] *)
+    c_buckets : int array;
+        (** the 64 log2 histogram buckets
+            ([Slimsim_obs.Metrics.bucket_of] convention) backing the
+            quantile table — resume needs no raw samples *)
+  }
+
   type state = {
     seed : int64;
     kind : Slimsim_stats.Generator.kind;
@@ -147,6 +163,10 @@ module Checkpoint : sig
             a trailing optional block, so classic campaigns produce
             byte-identical files to earlier builds and their old
             checkpoints still load. *)
+    cost : cost_state option;
+        (** accumulator of a priced (E[cost]/D[cost]) campaign; the
+            other trailing optional block, mutually exclusive with
+            [mlmc].  Classic files stay byte-identical. *)
   }
 
   val magic : string

@@ -61,6 +61,11 @@ let get_f s v =
   if Bytes.unsafe_get s.ftag v = '\001' then Array.unsafe_get s.fval v
   else Value.as_float (Array.unsafe_get s.vals v)
 
+(* Read-only views for cost extraction: the current numeric value of a
+   variable and its derivative as of the last [set_rates]. *)
+let var_float s v = get_f s v
+let rate s v = s.rates.(v)
+
 let set_v s v x =
   s.vals.(v) <- x;
   Bytes.unsafe_set s.ftag v '\000'

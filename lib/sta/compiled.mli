@@ -70,6 +70,15 @@ val cstate_of :
     evaluate compiled expressions against synthetic states. *)
 
 val time : cstate -> float
+
+val var_float : cstate -> int -> float
+(** Current numeric value of a variable, reading the unboxed cache when
+    it is authoritative (≡ [Value.as_float (State.env _ v)]). *)
+
+val rate : cstate -> int -> float
+(** Current derivative of a variable, as last refreshed by
+    {!set_rates}. *)
+
 val to_state : t -> cstate -> State.t
 val of_state : t -> cstate -> State.t -> unit
 

@@ -19,6 +19,7 @@ let () =
       ("supervisor", Test_supervisor.suite);
       ("campaign", Test_campaign.suite);
       ("mlmc", Test_mlmc.suite);
+      ("cost", Test_cost.suite);
       ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
       ("dist", Test_dist.suite);

@@ -346,6 +346,7 @@ let test_checkpoint_roundtrip () =
       dropped = 5;
       leases = [ (7, 120, 184); (8, 184, 248) ];
       mlmc = None;
+      cost = None;
     }
   in
   let file = Filename.temp_file "slimsim" ".ckpt" in
